@@ -1,0 +1,23 @@
+//! # latte-baselines
+//!
+//! The comparison stacks of the paper's evaluation, reproduced from
+//! scratch:
+//!
+//! * [`caffe`] — a Caffe-style layer-specific library: im2col + GEMM
+//!   convolutions, whole-batch FC GEMMs, one statically compiled kernel
+//!   per layer, no cross-layer optimization. Shares `latte-tensor`'s
+//!   blocked GEMM with the Latte runtime (the paper's "both use MKL").
+//! * [`mocha`] — a Mocha.jl-style naive implementation: direct scalar
+//!   loops with per-call temporaries, standing in for an idiomatic
+//!   dynamic-language framework.
+//!
+//! Both build structurally identical networks from the shared
+//! [`spec::LayerSpec`] language, so benchmark comparisons are
+//! apples-to-apples.
+
+#![warn(missing_docs)]
+
+pub mod caffe;
+pub mod mocha;
+pub mod net;
+pub mod spec;

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the numeric substrate: GEMM shapes and block
+//! sizes, im2col, and the synthesized-copy execution paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use latte_tensor::conv::{im2col, Conv2dParams};
+use latte_tensor::gemm::{Gemm, Transpose};
+
+fn bench_gemm_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_shapes");
+    group.sample_size(10);
+    // The shapes the compiler actually emits: Latte conv forward
+    // (m=spatial, n=channels), Caffe conv forward (m=channels,
+    // n=spatial), weight gradients (k=spatial), and an FC-style square.
+    let shapes: [(&str, usize, usize, usize, Transpose, Transpose); 4] = [
+        ("latte_conv_fwd", 1024, 64, 27, Transpose::No, Transpose::Yes),
+        ("caffe_conv_fwd", 64, 1024, 27, Transpose::No, Transpose::No),
+        ("conv_bwd_weights", 64, 27, 1024, Transpose::Yes, Transpose::No),
+        ("fc", 256, 256, 256, Transpose::No, Transpose::Yes),
+    ];
+    for (name, m, n, k, ta, tb) in shapes {
+        let a = vec![1.0f32; m.max(k) * k.max(m)];
+        let b = vec![1.0f32; k.max(n) * n.max(k)];
+        let mut out = vec![0.0f32; m * n];
+        let mut engine = Gemm::new();
+        group.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| {
+                engine.compute(ta, tb, m, n, k, &a, &b, &mut out);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_blocking");
+    group.sample_size(10);
+    let (m, n, k) = (192, 192, 192);
+    let a = vec![1.0f32; m * k];
+    let b = vec![1.0f32; k * n];
+    let mut out = vec![0.0f32; m * n];
+    for (kc, nc, mc) in [(64, 128, 16), (256, 512, 64), (512, 1024, 128), (32, 64, 8)] {
+        let mut engine = Gemm::with_blocking(kc, nc, mc);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("kc{kc}_nc{nc}_mc{mc}")),
+            |bencher| {
+                bencher.iter(|| {
+                    engine.compute(Transpose::No, Transpose::No, m, n, k, &a, &b, &mut out);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("im2col");
+    group.sample_size(10);
+    for (h, cin) in [(32usize, 16usize), (64, 3)] {
+        let p = Conv2dParams {
+            in_channels: cin,
+            out_channels: 1,
+            height: h,
+            width: h,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let input = vec![1.0f32; cin * h * h];
+        let mut cols = vec![0.0f32; p.patch_len() * p.out_plane()];
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{h}x{h}x{cin}")),
+            |bencher| bencher.iter(|| im2col(&p, &input, &mut cols)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_shapes, bench_gemm_blocking, bench_im2col);
+criterion_main!(benches);

@@ -1,0 +1,334 @@
+//! Ensembles: homogeneous collections of neurons.
+
+use std::collections::BTreeMap;
+
+use latte_tensor::Tensor;
+
+use super::neuron::NeuronType;
+
+/// What flavour of ensemble this is.
+///
+/// Mirrors the paper's `Ensemble` / `ActivationEnsemble` /
+/// `NormalizationEnsemble` distinction plus the input-data ensembles
+/// produced by data layers.
+#[derive(Debug, Clone)]
+pub enum EnsembleKind {
+    /// An ordinary ensemble of neurons.
+    Standard,
+    /// An activation ensemble: one-to-one over its single input and
+    /// eligible for in-place execution (its value/gradient buffers alias
+    /// the source's when it is the sole consumer).
+    Activation,
+    /// A normalization ensemble: an opaque array-level operation, executed
+    /// by a registered runtime kernel and never fused across.
+    Normalization(NormalizationSpec),
+    /// An input ensemble whose values are written by the runtime's data
+    /// loader each iteration.
+    Data,
+    /// A concatenation ensemble: its value is the connected sources laid
+    /// side by side along the innermost dimension (the building block of
+    /// Inception-style multi-branch architectures). Sources must agree on
+    /// every dimension except the last, and each connection must be the
+    /// identity over its slice (use `Mapping::one_to_one`).
+    Concat,
+}
+
+/// Specification of a normalization ensemble's array operation.
+///
+/// The compiler lowers this to `extern {op}_forward` / `extern
+/// {op}_backward` calls with a fixed buffer ABI (see
+/// `latte-core::synth`); the runtime dispatches by name through its kernel
+/// registry, so downstream crates can register new operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizationSpec {
+    /// Registry base name, e.g. `"softmax_loss"`.
+    pub op: String,
+    /// Scalar attributes forwarded to the kernel.
+    pub attrs: BTreeMap<String, f64>,
+    /// Extra per-batch-item state buffers `(suffix, shape, shared)` the
+    /// kernel needs (e.g. softmax probabilities kept for the backward
+    /// pass). `shared = true` allocates one copy for the whole batch
+    /// (batch-norm statistics).
+    pub state: Vec<(String, Vec<usize>, bool)>,
+    /// Whether this ensemble's value buffer holds a per-item loss the
+    /// solver should report and seed backward propagation from.
+    pub loss: bool,
+}
+
+impl NormalizationSpec {
+    /// Creates a spec with no attributes or state.
+    pub fn new(op: impl Into<String>) -> Self {
+        NormalizationSpec {
+            op: op.into(),
+            attrs: BTreeMap::new(),
+            state: Vec::new(),
+            loss: false,
+        }
+    }
+
+    /// Marks this ensemble as a loss.
+    pub fn loss(mut self) -> Self {
+        self.loss = true;
+        self
+    }
+
+    /// Adds a scalar attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.attrs.insert(key.into(), value);
+        self
+    }
+
+    /// Adds a per-item state buffer.
+    pub fn state(mut self, suffix: impl Into<String>, shape: Vec<usize>) -> Self {
+        self.state.push((suffix.into(), shape, false));
+        self
+    }
+
+    /// Adds a whole-batch (shared) state buffer.
+    pub fn shared_state(mut self, suffix: impl Into<String>, shape: Vec<usize>) -> Self {
+        self.state.push((suffix.into(), shape, true));
+        self
+    }
+}
+
+/// SoA storage for one neuron field across an ensemble.
+///
+/// The buffer shape is `unshared neuron dims ++ [vector length]`: a
+/// dimension flagged in `shared_dims` holds identical values for all
+/// neurons along it, so it is *dropped* from storage — the paper's weight
+/// sharing (convolution filters shared across spatial positions).
+#[derive(Debug, Clone)]
+pub struct FieldStorage {
+    /// Field name, matching a [`super::neuron::FieldSpec`] of the
+    /// ensemble's neuron type.
+    pub name: String,
+    /// One flag per ensemble dimension; `true` means the field is shared
+    /// along that dimension.
+    pub shared_dims: Vec<bool>,
+    /// Initial values, shaped `unshared dims ++ [vec_len]`.
+    pub init: Tensor,
+    /// When set, the field's storage aliases the same-named field of this
+    /// *ensemble* instead of allocating fresh storage. Used by
+    /// [`Net::unroll`](super::Net::unroll) to share parameters across the
+    /// time-step clones of a recurrent network (gradients then accumulate
+    /// across time, giving back-propagation through time).
+    pub share_global: Option<String>,
+}
+
+/// Marks a field as learnable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// The learnable field's name.
+    pub field: String,
+    /// Per-parameter learning-rate multiplier (the paper's
+    /// `Param(:bias, 2.0)`).
+    pub lr_mult: f32,
+}
+
+/// A homogeneous collection of neurons arranged in an N-dimensional grid.
+///
+/// Spatial ensembles use the dimension order `(y, x, c)` — row, column,
+/// feature — so that the compiler's canonical tiled dimension is the
+/// outermost loop.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    name: String,
+    dims: Vec<usize>,
+    kind: EnsembleKind,
+    neuron: Option<NeuronType>,
+    fields: Vec<FieldStorage>,
+    params: Vec<ParamSpec>,
+}
+
+impl Ensemble {
+    /// Creates a standard ensemble of `neuron`s with the given grid shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero extent.
+    pub fn new(name: impl Into<String>, dims: Vec<usize>, neuron: NeuronType) -> Self {
+        Self::with_kind(name, dims, EnsembleKind::Standard, Some(neuron))
+    }
+
+    /// Creates an activation ensemble (one-to-one, in-place eligible).
+    pub fn activation(name: impl Into<String>, dims: Vec<usize>, neuron: NeuronType) -> Self {
+        Self::with_kind(name, dims, EnsembleKind::Activation, Some(neuron))
+    }
+
+    /// Creates a normalization ensemble.
+    pub fn normalization(
+        name: impl Into<String>,
+        dims: Vec<usize>,
+        spec: NormalizationSpec,
+    ) -> Self {
+        Self::with_kind(name, dims, EnsembleKind::Normalization(spec), None)
+    }
+
+    /// Creates a data (input) ensemble.
+    pub fn data(name: impl Into<String>, dims: Vec<usize>) -> Self {
+        Self::with_kind(name, dims, EnsembleKind::Data, None)
+    }
+
+    /// Creates a concatenation ensemble; `dims`' last extent must equal
+    /// the sum of the connected sources' last extents.
+    pub fn concat(name: impl Into<String>, dims: Vec<usize>) -> Self {
+        Self::with_kind(name, dims, EnsembleKind::Concat, None)
+    }
+
+    fn with_kind(
+        name: impl Into<String>,
+        dims: Vec<usize>,
+        kind: EnsembleKind,
+        neuron: Option<NeuronType>,
+    ) -> Self {
+        assert!(
+            !dims.is_empty() && dims.iter().all(|&d| d > 0),
+            "ensemble dims must be non-empty and non-zero"
+        );
+        Ensemble {
+            name: name.into(),
+            dims,
+            kind,
+            neuron,
+            fields: Vec::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Attaches SoA storage for a neuron field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shared_dims` does not have one flag per ensemble
+    /// dimension.
+    pub fn with_field(
+        mut self,
+        name: impl Into<String>,
+        shared_dims: Vec<bool>,
+        init: Tensor,
+    ) -> Self {
+        assert_eq!(
+            shared_dims.len(),
+            self.dims.len(),
+            "shared_dims must have one flag per ensemble dimension"
+        );
+        self.fields.push(FieldStorage {
+            name: name.into(),
+            shared_dims,
+            init,
+            share_global: None,
+        });
+        self
+    }
+
+    /// Marks a field as a learnable parameter with a learning-rate
+    /// multiplier.
+    pub fn with_param(mut self, field: impl Into<String>, lr_mult: f32) -> Self {
+        self.params.push(ParamSpec {
+            field: field.into(),
+            lr_mult,
+        });
+        self
+    }
+
+    /// The ensemble name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the ensemble (used by [`super::Net::unroll`]).
+    pub(crate) fn rename(&mut self, name: String) {
+        self.name = name;
+    }
+
+    /// Mutable field access (used by [`super::Net::unroll`] to install
+    /// parameter sharing across time-step clones).
+    pub(crate) fn fields_mut(&mut self) -> &mut [FieldStorage] {
+        &mut self.fields
+    }
+
+    /// The neuron grid shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of neurons.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Always `false`; ensembles hold at least one neuron.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The ensemble flavour.
+    pub fn kind(&self) -> &EnsembleKind {
+        &self.kind
+    }
+
+    /// The neuron type, absent for data and normalization ensembles.
+    pub fn neuron(&self) -> Option<&NeuronType> {
+        self.neuron.as_ref()
+    }
+
+    /// Field storage declarations.
+    pub fn fields(&self) -> &[FieldStorage] {
+        &self.fields
+    }
+
+    /// Learnable-parameter declarations.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldStorage> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::stdlib::weighted_neuron;
+
+    #[test]
+    fn ensemble_len_is_dim_product() {
+        let e = Ensemble::data("data", vec![3, 4, 5]);
+        assert_eq!(e.len(), 60);
+        assert!(matches!(e.kind(), EnsembleKind::Data));
+    }
+
+    #[test]
+    fn fields_and_params_attach() {
+        let e = Ensemble::new("fc1", vec![10], weighted_neuron())
+            .with_field("weights", vec![false], Tensor::zeros(vec![10, 5]))
+            .with_field("bias", vec![false], Tensor::zeros(vec![10, 1]))
+            .with_param("weights", 1.0)
+            .with_param("bias", 2.0);
+        assert_eq!(e.fields().len(), 2);
+        assert_eq!(e.params()[1].lr_mult, 2.0);
+        assert!(e.field("weights").is_some());
+        assert!(e.field("nope").is_none());
+    }
+
+    #[test]
+    fn normalization_spec_builder() {
+        let s = NormalizationSpec::new("softmax_loss")
+            .attr("classes", 10.0)
+            .state("prob", vec![10]);
+        assert_eq!(s.attrs["classes"], 10.0);
+        assert_eq!(s.state[0].0, "prob");
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag per ensemble dimension")]
+    fn with_field_validates_shared_dims() {
+        let _ = Ensemble::new("fc1", vec![10], weighted_neuron()).with_field(
+            "weights",
+            vec![false, true],
+            Tensor::zeros(vec![10]),
+        );
+    }
+}

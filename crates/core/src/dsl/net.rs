@@ -1,0 +1,349 @@
+//! The network: ensembles plus connections.
+
+use super::ensemble::Ensemble;
+use super::mapping::Mapping;
+use crate::error::CompileError;
+
+/// Opaque handle to an ensemble inside a [`Net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnsembleId(usize);
+
+impl EnsembleId {
+    /// The index of the ensemble in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A directed connection into a sink ensemble.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    /// The ensemble whose values are consumed.
+    pub source: EnsembleId,
+    /// The region of source neurons consumed by each sink neuron.
+    pub mapping: Mapping,
+    /// Whether the connection reads the *previous time step's* values
+    /// (recurrent networks; see [`Net::unroll`]).
+    pub recurrent: bool,
+}
+
+/// A neural network: a collection of connected ensembles (the paper's
+/// `Net` type).
+///
+/// # Examples
+///
+/// ```
+/// use latte_core::dsl::{Ensemble, Mapping, Net};
+/// use latte_core::dsl::stdlib::weighted_neuron;
+/// use latte_tensor::Tensor;
+///
+/// let mut net = Net::new(8);
+/// let data = net.add(Ensemble::data("data", vec![4]));
+/// let fc = net.add(
+///     Ensemble::new("fc1", vec![2], weighted_neuron())
+///         .with_field("weights", vec![false], Tensor::zeros(vec![2, 4]))
+///         .with_field("bias", vec![false], Tensor::zeros(vec![2, 1]))
+///         .with_param("weights", 1.0)
+///         .with_param("bias", 2.0),
+/// );
+/// net.connect(data, fc, Mapping::all_to_all(vec![4]));
+/// assert_eq!(net.batch(), 8);
+/// assert_eq!(net.topo_order().unwrap().len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Net {
+    batch: usize,
+    ensembles: Vec<Ensemble>,
+    /// Inbound connections per ensemble, in `add_connections` order (the
+    /// order neuron bodies see as `inputs[0]`, `inputs[1]`, …).
+    connections: Vec<Vec<Connection>>,
+}
+
+impl Net {
+    /// Creates an empty network with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn new(batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be non-zero");
+        Net {
+            batch,
+            ensembles: Vec::new(),
+            connections: Vec::new(),
+        }
+    }
+
+    /// The training/inference batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Adds an ensemble, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an ensemble with the same name already exists.
+    pub fn add(&mut self, ensemble: Ensemble) -> EnsembleId {
+        assert!(
+            self.find(ensemble.name()).is_none(),
+            "duplicate ensemble name `{}`",
+            ensemble.name()
+        );
+        self.ensembles.push(ensemble);
+        self.connections.push(Vec::new());
+        EnsembleId(self.ensembles.len() - 1)
+    }
+
+    /// Connects `source` to `sink` with the given mapping (the paper's
+    /// `add_connections`).
+    pub fn connect(&mut self, source: EnsembleId, sink: EnsembleId, mapping: Mapping) {
+        self.connections[sink.0].push(Connection {
+            source,
+            mapping,
+            recurrent: false,
+        });
+    }
+
+    /// Connects `source` to `sink` with a *recurrent* edge: the sink reads
+    /// the source's previous-time-step values. Recurrent edges are ignored
+    /// by topological ordering and realized by [`Net::unroll`].
+    pub fn connect_recurrent(&mut self, source: EnsembleId, sink: EnsembleId, mapping: Mapping) {
+        self.connections[sink.0].push(Connection {
+            source,
+            mapping,
+            recurrent: true,
+        });
+    }
+
+    /// The ensemble behind a handle.
+    pub fn ensemble(&self, id: EnsembleId) -> &Ensemble {
+        &self.ensembles[id.0]
+    }
+
+    /// All ensembles in insertion order.
+    pub fn ensembles(&self) -> impl Iterator<Item = (EnsembleId, &Ensemble)> {
+        self.ensembles
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EnsembleId(i), e))
+    }
+
+    /// The number of ensembles.
+    pub fn len(&self) -> usize {
+        self.ensembles.len()
+    }
+
+    /// Whether the network has no ensembles.
+    pub fn is_empty(&self) -> bool {
+        self.ensembles.is_empty()
+    }
+
+    /// Inbound connections of an ensemble.
+    pub fn connections(&self, id: EnsembleId) -> &[Connection] {
+        &self.connections[id.0]
+    }
+
+    /// Looks up an ensemble by name.
+    pub fn find(&self, name: &str) -> Option<EnsembleId> {
+        self.ensembles
+            .iter()
+            .position(|e| e.name() == name)
+            .map(EnsembleId)
+    }
+
+    /// The number of non-recurrent consumers of each ensemble.
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.ensembles.len()];
+        for conns in &self.connections {
+            for c in conns {
+                if !c.recurrent {
+                    counts[c.source.0] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Unrolls a recurrent network over `steps` time steps.
+    ///
+    /// Every ensemble is cloned per step as `"{name}@t{k}"`; non-recurrent
+    /// connections stay within a step, recurrent connections read the
+    /// previous step's clone (step 0 reads a zero-filled data ensemble
+    /// `"{name}@init"`). Parameters of clones for `t > 0` alias the step-0
+    /// buffers, so gradients accumulate across time — standard
+    /// back-propagation through time with full weight sharing.
+    ///
+    /// The result contains no recurrent edges and compiles directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn unroll(&self, steps: usize) -> Net {
+        assert!(steps > 0, "unroll requires at least one step");
+        let mut out = Net::new(self.batch);
+        let step_name = |name: &str, t: usize| format!("{name}@t{t}");
+        // Zero state feeding recurrent edges at step 0.
+        let mut inits: Vec<(usize, EnsembleId)> = Vec::new();
+        for (sink, conns) in self.connections.iter().enumerate() {
+            let _ = sink;
+            for c in conns {
+                if c.recurrent && !inits.iter().any(|(s, _)| *s == c.source.0) {
+                    let src = &self.ensembles[c.source.0];
+                    let id = out.add(Ensemble::data(
+                        format!("{}@init", src.name()),
+                        src.dims().to_vec(),
+                    ));
+                    inits.push((c.source.0, id));
+                }
+            }
+        }
+        let mut ids: Vec<Vec<EnsembleId>> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let mut step_ids = Vec::with_capacity(self.ensembles.len());
+            for ens in &self.ensembles {
+                let mut e = ens.clone();
+                e.rename(step_name(ens.name(), t));
+                if t > 0 {
+                    for f in e.fields_mut() {
+                        if f.share_global.is_none() {
+                            f.share_global = Some(step_name(ens.name(), 0));
+                        }
+                    }
+                }
+                step_ids.push(out.add(e));
+            }
+            ids.push(step_ids);
+        }
+        for t in 0..steps {
+            for (sink, conns) in self.connections.iter().enumerate() {
+                for c in conns {
+                    let source = if c.recurrent {
+                        if t == 0 {
+                            inits
+                                .iter()
+                                .find(|(s, _)| *s == c.source.0)
+                                .expect("init ensemble exists")
+                                .1
+                        } else {
+                            ids[t - 1][c.source.0]
+                        }
+                    } else {
+                        ids[t][c.source.0]
+                    };
+                    out.connect(source, ids[t][sink], c.mapping.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Topological order over non-recurrent connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Cycle`] when the non-recurrent sub-graph has
+    /// a cycle (a recurrent network missing `recurrent = true` flags).
+    pub fn topo_order(&self) -> Result<Vec<EnsembleId>, CompileError> {
+        let n = self.ensembles.len();
+        let mut indegree = vec![0usize; n];
+        for (sink, conns) in self.connections.iter().enumerate() {
+            indegree[sink] = conns.iter().filter(|c| !c.recurrent).count();
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        // Keep insertion order stable for deterministic output.
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::from(ready);
+        while let Some(next) = queue.pop_front() {
+            order.push(EnsembleId(next));
+            for (sink, conns) in self.connections.iter().enumerate() {
+                for c in conns {
+                    if !c.recurrent && c.source.0 == next {
+                        indegree[sink] -= 1;
+                        if indegree[sink] == 0 {
+                            queue.push_back(sink);
+                        }
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck: Vec<String> = (0..n)
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| self.ensembles[i].name().to_string())
+                .collect();
+            return Err(CompileError::Cycle { ensembles: stuck });
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::stdlib::relu_neuron;
+
+    fn chain(names: &[&str]) -> (Net, Vec<EnsembleId>) {
+        let mut net = Net::new(1);
+        let ids: Vec<EnsembleId> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                if i == 0 {
+                    net.add(Ensemble::data(*n, vec![4]))
+                } else {
+                    net.add(Ensemble::activation(*n, vec![4], relu_neuron()))
+                }
+            })
+            .collect();
+        for w in ids.windows(2) {
+            net.connect(w[0], w[1], Mapping::one_to_one());
+        }
+        (net, ids)
+    }
+
+    #[test]
+    fn topo_order_follows_chain() {
+        let (net, ids) = chain(&["a", "b", "c"]);
+        assert_eq!(net.topo_order().unwrap(), ids);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let (mut net, ids) = chain(&["a", "b", "c"]);
+        net.connect(ids[2], ids[1], Mapping::one_to_one());
+        let err = net.topo_order().unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn recurrent_edges_do_not_create_cycles() {
+        let (mut net, ids) = chain(&["a", "b", "c"]);
+        net.connect_recurrent(ids[2], ids[1], Mapping::one_to_one());
+        assert!(net.topo_order().is_ok());
+    }
+
+    #[test]
+    fn consumer_counts_ignore_recurrent() {
+        let (mut net, ids) = chain(&["a", "b", "c"]);
+        net.connect_recurrent(ids[2], ids[0], Mapping::one_to_one());
+        let counts = net.consumer_counts();
+        assert_eq!(counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ensemble name")]
+    fn duplicate_names_rejected() {
+        let mut net = Net::new(1);
+        net.add(Ensemble::data("x", vec![1]));
+        net.add(Ensemble::data("x", vec![1]));
+    }
+
+    #[test]
+    fn find_by_name() {
+        let (net, ids) = chain(&["a", "b", "c"]);
+        assert_eq!(net.find("b"), Some(ids[1]));
+        assert_eq!(net.find("zzz"), None);
+    }
+}

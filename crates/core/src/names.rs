@@ -1,0 +1,58 @@
+//! Canonical buffer-name scheme shared by the compiler and the runtime.
+
+/// The value (activation) buffer of an ensemble.
+pub fn value(ens: &str) -> String {
+    format!("{ens}.value")
+}
+
+/// The gradient buffer of an ensemble.
+pub fn grad(ens: &str) -> String {
+    format!("{ens}.grad")
+}
+
+/// The staged-input buffer of connection `c` of an ensemble.
+pub fn input(ens: &str, c: usize) -> String {
+    format!("{ens}.in{c}")
+}
+
+/// The staged input-gradient buffer of connection `c`.
+pub fn grad_input(ens: &str, c: usize) -> String {
+    format!("{ens}.gin{c}")
+}
+
+/// The SoA buffer of neuron field `field`.
+pub fn field(ens: &str, field: &str) -> String {
+    format!("{ens}.{field}")
+}
+
+/// The gradient buffer of neuron field `field`.
+pub fn grad_field(ens: &str, field: &str) -> String {
+    format!("{ens}.g_{field}")
+}
+
+/// A normalization ensemble's extra state buffer.
+pub fn state(ens: &str, suffix: &str) -> String {
+    format!("{ens}.state_{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_distinct_and_prefixed() {
+        let all = [
+            super::value("conv1"),
+            super::grad("conv1"),
+            super::input("conv1", 0),
+            super::grad_input("conv1", 0),
+            super::field("conv1", "weights"),
+            super::grad_field("conv1", "weights"),
+            super::state("conv1", "prob"),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.starts_with("conv1."));
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

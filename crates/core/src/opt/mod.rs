@@ -1,0 +1,8 @@
+//! Compiler optimizations over the synthesized program: GEMM pattern
+//! matching, loop tiling, cross-layer fusion, and parallelization.
+
+mod pattern;
+mod schedule;
+
+pub use pattern::pattern_match;
+pub use schedule::{parallelize, tile_and_fuse, ScheduleStats};

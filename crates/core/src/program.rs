@@ -1,0 +1,169 @@
+//! The compiler's output: groups of optimized loop nests plus the buffer
+//! plan, ready for the runtime to lower and execute.
+
+use latte_ir::{BufferDecl, Stmt};
+use std::fmt;
+
+/// Which pass of network execution a group belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Forward propagation.
+    Forward,
+    /// Backward propagation.
+    Backward,
+}
+
+/// Fusion/tiling metadata of a group, derived from the connection
+/// structure during synthesis.
+#[derive(Debug, Clone, Default)]
+pub struct GroupMeta {
+    /// Extent of the group's tileable outermost dimension, when every
+    /// statement in the group iterates it (spatial ensembles of rank ≥ 2
+    /// whose staging keeps dimension 0).
+    pub dim0_extent: Option<usize>,
+    /// The producing ensemble this group consumes, with the consumption
+    /// `stride` and `halo` along dimension 0 — present only when the
+    /// group's ensemble has exactly one non-recurrent connection with
+    /// affine dim-0 structure. `halo == 0` is the fusion precondition.
+    pub upstream: Option<Upstream>,
+}
+
+/// Producer relation used by the fusion pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Upstream {
+    /// Name of the producing ensemble.
+    pub ensemble: String,
+    /// Source rows of dimension 0 consumed per sink row.
+    pub stride: usize,
+    /// Extra source rows overlapped beyond the stride (overlapping
+    /// windows); non-zero halo prevents fusion.
+    pub halo: usize,
+    /// Whether this group's ensemble is the *only* consumer of the
+    /// producer. Backward fusion requires it: with several consumers the
+    /// producer's gradient is complete only after every consumer's
+    /// scatter, so no single consumer's tile may trigger the producer's
+    /// backward.
+    pub sole_consumer: bool,
+}
+
+/// A schedulable unit: the synthesized (and later optimized) statements of
+/// one ensemble-phase, or of several fused ensembles.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Human-readable name, e.g. `"conv1.fwd"` or `"conv1+relu1+pool1.fwd"`.
+    pub name: String,
+    /// The ensemble(s) this group computes, in execution order.
+    pub ensembles: Vec<String>,
+    /// The phase the group runs in.
+    pub phase: Phase,
+    /// The statements, executed in order for each batch item.
+    pub stmts: Vec<Stmt>,
+    /// Fusion-preventing groups (normalization ensembles) are barriers.
+    pub barrier: bool,
+    /// Tiling/fusion metadata.
+    pub meta: GroupMeta,
+}
+
+impl Group {
+    /// Pretty-prints the group's statements.
+    pub fn pretty(&self) -> String {
+        format!("group {} {{\n{}}}\n", self.name, latte_ir::print_stmts(&self.stmts))
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pretty())
+    }
+}
+
+/// A learnable parameter: its value and gradient buffers plus the
+/// learning-rate multiplier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamBinding {
+    /// The value buffer name.
+    pub value: String,
+    /// The gradient buffer name.
+    pub grad: String,
+    /// Per-parameter learning-rate multiplier.
+    pub lr_mult: f32,
+}
+
+/// An input (data) ensemble the runtime feeds each iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputBinding {
+    /// The data ensemble's name.
+    pub ensemble: String,
+    /// Its value buffer.
+    pub buffer: String,
+    /// Per-item element count.
+    pub len: usize,
+}
+
+/// Statistics recorded by the compiler, used by tests and reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Number of multiply-accumulate nests replaced by GEMM calls.
+    pub gemms_matched: usize,
+    /// Number of groups whose outer loop was tiled.
+    pub groups_tiled: usize,
+    /// Number of fusions performed (each merges two groups).
+    pub fusions: usize,
+    /// Number of buffers that alias other storage (dropped copies /
+    /// in-place activations / shared inputs).
+    pub aliased_buffers: usize,
+    /// Number of staging buffer dimensions dropped by shared-variable
+    /// analysis.
+    pub dims_dropped: usize,
+}
+
+/// A compiled network: the runtime's entire input.
+#[derive(Debug, Clone)]
+pub struct CompiledNet {
+    /// Batch size the program was compiled for.
+    pub batch: usize,
+    /// Every buffer, allocation order = declaration order (aliases after
+    /// their targets).
+    pub buffers: Vec<BufferDecl>,
+    /// Forward groups in execution order.
+    pub forward: Vec<Group>,
+    /// Backward groups in execution order.
+    pub backward: Vec<Group>,
+    /// Learnable parameters.
+    pub params: Vec<ParamBinding>,
+    /// Data ensembles to feed.
+    pub inputs: Vec<InputBinding>,
+    /// Loss buffers (per-item loss values) to report.
+    pub losses: Vec<String>,
+    /// Initial contents of every field buffer, `(buffer name, values)`.
+    /// The runtime writes these once at executor construction and on
+    /// `reset_params`.
+    pub param_inits: Vec<(String, Vec<f32>)>,
+    /// Whether the runtime may lower unit-stride inner loops to native
+    /// slice kernels (the compiler's `vectorize` flag).
+    pub vectorize: bool,
+    /// Compiler statistics.
+    pub stats: CompileStats,
+}
+
+impl CompiledNet {
+    /// Looks up a buffer declaration by name.
+    pub fn buffer(&self, name: &str) -> Option<&BufferDecl> {
+        self.buffers.iter().find(|b| b.name == name)
+    }
+
+    /// Pretty-prints the whole program (both phases), mainly for tests
+    /// and debugging.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        s.push_str("== forward ==\n");
+        for g in &self.forward {
+            s.push_str(&g.pretty());
+        }
+        s.push_str("== backward ==\n");
+        for g in &self.backward {
+            s.push_str(&g.pretty());
+        }
+        s
+    }
+}

@@ -1,0 +1,135 @@
+//! Buffer declarations: the symbol table shared by the compiler and the
+//! runtime allocator.
+
+use latte_tensor::Shape;
+use std::fmt;
+
+/// What role a buffer plays in the compiled network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// Neuron output activations (`value` fields). Batched.
+    Value,
+    /// Gradients of activations (`∇` fields). Batched.
+    Grad,
+    /// Learnable parameters (weights, biases). Shared across the batch.
+    Param,
+    /// Gradients of learnable parameters. Shared across the batch and
+    /// reduced over it.
+    ParamGrad,
+    /// Gathered neuron inputs (the synthesized data-copy target). Batched.
+    InputStage,
+    /// Gradients of gathered inputs. Batched.
+    InputGradStage,
+    /// Non-learnable per-ensemble state with one copy per batch item
+    /// (e.g. softmax probabilities kept for backward).
+    State,
+    /// Non-learnable state with a single copy shared by the whole batch
+    /// (e.g. batch-normalization statistics).
+    SharedState,
+}
+
+impl BufferKind {
+    /// Whether the runtime allocates one copy of this buffer per batch item.
+    pub fn is_batched(self) -> bool {
+        !matches!(
+            self,
+            BufferKind::Param | BufferKind::ParamGrad | BufferKind::SharedState
+        )
+    }
+
+    /// Whether the buffer holds gradient data that must be cleared before
+    /// each backward pass.
+    pub fn is_grad(self) -> bool {
+        matches!(
+            self,
+            BufferKind::Grad | BufferKind::ParamGrad | BufferKind::InputGradStage
+        )
+    }
+}
+
+/// A named buffer with a shape and a role.
+///
+/// Shared-variable analysis may record that this buffer *aliases* another
+/// (in-place activation ensembles, or data-copy elision when all sink
+/// neurons read the source values unchanged); the runtime then maps both
+/// names to one allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferDecl {
+    /// Unique buffer name, referenced by [`crate::BufRef`]s.
+    pub name: String,
+    /// Logical per-batch-item shape.
+    pub shape: Shape,
+    /// Role of the buffer.
+    pub kind: BufferKind,
+    /// When set, this buffer shares storage with the named buffer (which
+    /// must be at least as large).
+    pub alias_of: Option<String>,
+}
+
+impl BufferDecl {
+    /// Declares a fresh buffer.
+    pub fn new(name: impl Into<String>, shape: impl Into<Shape>, kind: BufferKind) -> Self {
+        BufferDecl {
+            name: name.into(),
+            shape: shape.into(),
+            kind,
+            alias_of: None,
+        }
+    }
+
+    /// Declares a buffer aliasing existing storage.
+    pub fn alias(
+        name: impl Into<String>,
+        shape: impl Into<Shape>,
+        kind: BufferKind,
+        of: impl Into<String>,
+    ) -> Self {
+        BufferDecl {
+            name: name.into(),
+            shape: shape.into(),
+            kind,
+            alias_of: Some(of.into()),
+        }
+    }
+
+    /// Number of elements per batch item.
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Always `false`; buffers hold at least one element.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for BufferDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} {:?}", self.name, self.shape, self.kind)?;
+        if let Some(a) = &self.alias_of {
+            write!(f, " (alias of {a})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_and_grad_classification() {
+        assert!(BufferKind::Value.is_batched());
+        assert!(!BufferKind::Param.is_batched());
+        assert!(BufferKind::ParamGrad.is_grad());
+        assert!(!BufferKind::Value.is_grad());
+        assert!(BufferKind::InputGradStage.is_grad());
+    }
+
+    #[test]
+    fn alias_display() {
+        let b = BufferDecl::alias("relu1value", vec![4, 4], BufferKind::Value, "conv1value");
+        assert_eq!(b.to_string(), "relu1value: 4x4 Value (alias of conv1value)");
+        assert_eq!(b.len(), 16);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the IR's affine-index algebra — the foundation
+//! every compiler pass builds on.
+
+use latte_ir::{BufRef, Expr, IndexExpr, Stmt};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const VARS: [&str; 4] = ["x", "y", "z", "t"];
+
+fn arb_index() -> impl Strategy<Value = IndexExpr> {
+    (
+        proptest::collection::vec((-5i64..6, 0usize..VARS.len()), 0..4),
+        -10i64..11,
+    )
+        .prop_map(|(terms, off)| {
+            let mut e = IndexExpr::constant(off);
+            for (coef, v) in terms {
+                e = e + IndexExpr::var(VARS[v]).scaled(coef);
+            }
+            e
+        })
+}
+
+fn arb_env() -> impl Strategy<Value = HashMap<String, i64>> {
+    proptest::collection::vec(-7i64..8, VARS.len()).prop_map(|vals| {
+        VARS.iter()
+            .zip(vals)
+            .map(|(v, x)| (v.to_string(), x))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Addition and scaling commute with evaluation.
+    #[test]
+    fn eval_is_linear(a in arb_index(), b in arb_index(), k in -5i64..6, env in arb_env()) {
+        let sum = a.clone() + b.clone();
+        prop_assert_eq!(sum.eval(&env), a.eval(&env) + b.eval(&env));
+        let scaled = a.clone().scaled(k);
+        prop_assert_eq!(scaled.eval(&env), k * a.eval(&env));
+        let diff = a.clone() - b.clone();
+        prop_assert_eq!(diff.eval(&env), a.eval(&env) - b.eval(&env));
+    }
+
+    /// Substitution agrees with evaluating the replacement first.
+    #[test]
+    fn subst_commutes_with_eval(
+        a in arb_index(),
+        r in arb_index(),
+        v in 0usize..VARS.len(),
+        env in arb_env(),
+    ) {
+        let var = VARS[v];
+        let substituted = a.subst(var, &r);
+        let mut env2 = env.clone();
+        env2.insert(var.to_string(), r.eval(&env));
+        prop_assert_eq!(substituted.eval(&env), a.eval(&env2));
+    }
+
+    /// Renaming to a fresh variable preserves values under a matching
+    /// environment rebinding.
+    #[test]
+    fn rename_preserves_eval(a in arb_index(), v in 0usize..VARS.len(), env in arb_env()) {
+        let var = VARS[v];
+        let renamed = a.rename(var, "fresh");
+        let mut env2 = env.clone();
+        env2.insert("fresh".to_string(), env[var]);
+        prop_assert_eq!(renamed.eval(&env2), a.eval(&env));
+        prop_assert!(!renamed.uses(var) || a.coef(var) == 0);
+    }
+
+    /// `subst` of an unused variable is the identity.
+    #[test]
+    fn subst_unused_is_identity(a in arb_index(), r in arb_index()) {
+        prop_assume!(a.coef("unused") == 0);
+        prop_assert_eq!(a.subst("unused", &r), a);
+    }
+
+    /// Statement-level substitution distributes to every reference.
+    #[test]
+    fn stmt_subst_rewrites_all_refs(
+        a in arb_index(),
+        b in arb_index(),
+        r in arb_index(),
+        env in arb_env(),
+    ) {
+        let nest = Stmt::for_loop("i", 3, vec![Stmt::accumulate(
+            BufRef::new("dst", vec![a.clone()]),
+            Expr::load("src", vec![b.clone()]),
+        )]);
+        let out = nest.subst_var("x", &r);
+        // Evaluate both sides' indices under env with x := r(env).
+        let mut env2 = env.clone();
+        env2.insert("x".to_string(), r.eval(&env));
+        if let Stmt::For(l) = &out {
+            if let Stmt::Assign(assign) = &l.body[0] {
+                prop_assert_eq!(assign.dest.indices[0].eval(&env), a.eval(&env2));
+            } else {
+                panic!("expected assign");
+            }
+        } else {
+            panic!("expected loop");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Parameter checkpointing: a minimal self-describing binary format for
+//! saving and restoring trained weights.
+//!
+//! Layout: magic `LATTEwts`, a little-endian u32 entry count, then per
+//! entry a u32 name length, the UTF-8 buffer name, a u32 element count,
+//! and the raw little-endian f32 data.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::RuntimeError;
+use crate::exec::Executor;
+
+const MAGIC: &[u8; 8] = b"LATTEwts";
+
+/// Serializes every learnable parameter of the executor.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`RuntimeError::Malformed`].
+pub fn save_params(exec: &Executor, path: impl AsRef<Path>) -> Result<(), RuntimeError> {
+    let names: Vec<String> = exec.params().iter().map(|p| p.value.clone()).collect();
+    let mut file = std::fs::File::create(path).map_err(io_err)?;
+    file.write_all(MAGIC).map_err(io_err)?;
+    file.write_all(&(names.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
+    for name in &names {
+        let data = exec.read_buffer(name)?;
+        file.write_all(&(name.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
+        file.write_all(name.as_bytes()).map_err(io_err)?;
+        file.write_all(&(data.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in &data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        file.write_all(&bytes).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Restores parameters saved by [`save_params`] into a (structurally
+/// compatible) executor. Buffers present in the file but absent from the
+/// executor are an error; executor parameters missing from the file are
+/// left untouched.
+///
+/// # Errors
+///
+/// Fails on I/O errors, bad magic, or mismatched buffer sizes.
+pub fn load_params(exec: &mut Executor, path: impl AsRef<Path>) -> Result<(), RuntimeError> {
+    let mut file = std::fs::File::open(path).map_err(io_err)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(RuntimeError::Malformed {
+            detail: "not a latte checkpoint (bad magic)".to_string(),
+        });
+    }
+    let count = read_u32(&mut file)? as usize;
+    for _ in 0..count {
+        let name_len = read_u32(&mut file)? as usize;
+        let mut name = vec![0u8; name_len];
+        file.read_exact(&mut name).map_err(io_err)?;
+        let name = String::from_utf8(name).map_err(|_| RuntimeError::Malformed {
+            detail: "checkpoint contains a non-UTF-8 buffer name".to_string(),
+        })?;
+        let len = read_u32(&mut file)? as usize;
+        let mut bytes = vec![0u8; len * 4];
+        file.read_exact(&mut bytes).map_err(io_err)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        exec.write_buffer(&name, &data)?;
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, RuntimeError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn io_err(e: std::io::Error) -> RuntimeError {
+    RuntimeError::Malformed {
+        detail: format!("checkpoint i/o: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latte_core::{compile, OptLevel};
+    use latte_nn::models::{mlp, ModelConfig};
+
+    fn build() -> Executor {
+        let cfg = ModelConfig {
+            batch: 2,
+            input_size: 6,
+            channel_div: 1,
+            classes: 3,
+            with_loss: true,
+            seed: 7,
+        };
+        Executor::new(compile(&mlp(&cfg, &[4]).net, &OptLevel::full()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn save_load_roundtrip_restores_weights() {
+        let dir = std::env::temp_dir().join("latte_ckpt_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("w.bin");
+        let mut a = build();
+        // Perturb, save, rebuild, load, compare.
+        let w0 = a.read_buffer("ip1.weights").unwrap();
+        let perturbed: Vec<f32> = w0.iter().map(|x| x + 1.5).collect();
+        a.write_buffer("ip1.weights", &perturbed).unwrap();
+        save_params(&a, &path).unwrap();
+        let mut b = build();
+        assert_ne!(b.read_buffer("ip1.weights").unwrap(), perturbed);
+        load_params(&mut b, &path).unwrap();
+        assert_eq!(b.read_buffer("ip1.weights").unwrap(), perturbed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = std::env::temp_dir().join("latte_ckpt_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("junk.bin");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let mut e = build();
+        assert!(load_params(&mut e, &path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,73 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// An error raised while lowering or executing a compiled network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A statement references a buffer missing from the buffer table.
+    UnknownBuffer {
+        /// The missing buffer's name.
+        name: String,
+    },
+    /// An alias chain points at a missing or later-declared buffer.
+    BadAlias {
+        /// The aliasing buffer.
+        name: String,
+        /// The missing target.
+        target: String,
+    },
+    /// An extern statement names an unregistered kernel.
+    UnknownExtern {
+        /// The kernel name.
+        op: String,
+    },
+    /// Input data does not match the destination buffer.
+    InputShape {
+        /// The input buffer.
+        buffer: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// A statement is malformed for execution (e.g. index uses an unbound
+    /// variable).
+    Malformed {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownBuffer { name } => {
+                write!(f, "statement references unknown buffer `{name}`")
+            }
+            RuntimeError::BadAlias { name, target } => {
+                write!(f, "buffer `{name}` aliases unknown buffer `{target}`")
+            }
+            RuntimeError::UnknownExtern { op } => {
+                write!(f, "no extern kernel registered for `{op}`")
+            }
+            RuntimeError::InputShape { buffer, detail } => {
+                write!(f, "bad input for buffer `{buffer}`: {detail}")
+            }
+            RuntimeError::Malformed { detail } => write!(f, "malformed program: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::UnknownExtern {
+            op: "softmax_forward".into(),
+        };
+        assert!(e.to_string().contains("softmax_forward"));
+    }
+}

@@ -1,0 +1,1192 @@
+//! The execution engine: runs lowered kernel plans over the buffer store.
+//!
+//! Execution is batch-item-major: each group's per-item segments run for
+//! every batch item (in parallel across a worker pool when the program was
+//! compiled with parallelization — the paper's collapsed batch×tile loop
+//! with a static interleaved schedule), while hoisted whole-batch GEMMs
+//! and whole-batch extern kernels run once.
+//!
+//! Parameter gradients are shared across batch items; under parallel
+//! execution each worker accumulates into a private scratch copy which is
+//! reduced afterwards — the paper's synchronized-reduction mode ("a small
+//! performance overhead during back-propagation"). The *lossy* mode of
+//! Section 3.1 is exercised at the data-parallel-training level in
+//! [`crate::parallel`].
+//!
+//! # Safety architecture
+//!
+//! Kernels run over raw per-item buffer views ([`RawBuf`]) derived from a
+//! single `*mut Vec<f32>` base pointer obtained from `&mut BufferStore`.
+//! Soundness rests on three invariants, each asserted where established:
+//! batched buffers are written only through the current item's disjoint
+//! slice; unbatched parameter buffers are only read; unbatched gradient
+//! buffers are either executed single-threaded or redirected to
+//! thread-private scratch. Lowering additionally proves every compiled
+//! index in-bounds for all loop values, so the hot path uses
+//! `debug_assert`-checked accesses.
+
+use std::cell::RefCell;
+
+use latte_core::{CompiledNet, ParamBinding};
+use latte_ir::{AssignOp, BinOp, UnaryOp};
+use latte_tensor::gemm::{Gemm, Transpose};
+
+use crate::error::RuntimeError;
+use crate::lower::{
+    BatchedGemm, CCopy, CExpr, CExtern, CGather, CGemm, CGroup, CRef, FastKind, InnerLoop,
+    Kernel, Plan, Segment,
+};
+use crate::registry::{ExternInvocation, KernelRegistry};
+use crate::store::BufferStore;
+
+thread_local! {
+    static GEMM_ENGINE: RefCell<Gemm> = RefCell::new(Gemm::new());
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Worker threads for batch-parallel groups. `1` disables threading.
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { threads: 1 }
+    }
+}
+
+/// A raw view of one buffer for the current batch item.
+#[derive(Clone, Copy)]
+struct RawBuf {
+    ptr: *mut f32,
+    len: usize,
+}
+
+impl RawBuf {
+    #[inline]
+    fn read(&self, i: i64) -> f32 {
+        debug_assert!(i >= 0 && (i as usize) < self.len, "read {i} of {}", self.len);
+        unsafe { *self.ptr.add(i as usize) }
+    }
+
+    #[inline]
+    fn write(&self, i: i64, op: AssignOp, v: f32) {
+        debug_assert!(i >= 0 && (i as usize) < self.len, "write {i} of {}", self.len);
+        unsafe {
+            let p = self.ptr.add(i as usize);
+            *p = op.apply(*p, v);
+        }
+    }
+
+    #[inline]
+    fn slice(&self, start: i64, len: usize) -> &[f32] {
+        debug_assert!(start >= 0 && start as usize + len <= self.len);
+        unsafe { std::slice::from_raw_parts(self.ptr.add(start as usize), len) }
+    }
+
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    fn slice_mut(&self, start: i64, len: usize) -> &mut [f32] {
+        debug_assert!(start >= 0 && start as usize + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start as usize), len) }
+    }
+}
+
+/// Per-item frame: one [`RawBuf`] per group buffer.
+struct Frame {
+    bufs: Vec<RawBuf>,
+}
+
+/// Builds the per-item frame from the store's base pointer.
+///
+/// # Safety
+///
+/// `base` must point at `n_storages` live `Vec<f32>` storages with no
+/// other active borrows; the caller must guarantee the disjointness
+/// invariants described in the module docs.
+unsafe fn build_frame(
+    base: *mut Vec<f32>,
+    g: &CGroup,
+    item: usize,
+    redirect: Option<(&[usize], &[(*mut f32, usize)])>,
+) -> Frame {
+    let bufs = g
+        .bufs
+        .iter()
+        .map(|b| {
+            let (ptr, len) = match &redirect {
+                Some((storages, scratch)) if b.param_grad => {
+                    let pos = storages
+                        .iter()
+                        .position(|&s| s == b.storage)
+                        .expect("redirected storage present");
+                    scratch[pos]
+                }
+                _ => {
+                    let s = &mut *base.add(b.storage);
+                    (s.as_mut_ptr(), s.len())
+                }
+            };
+            if b.batched {
+                RawBuf {
+                    ptr: ptr.add(item * b.per_item),
+                    len: b.per_item,
+                }
+            } else {
+                RawBuf { ptr, len }
+            }
+        })
+        .collect();
+    Frame { bufs }
+}
+
+/// The executor: a compiled network, its buffers, and the lowered plan.
+///
+/// This is the runtime counterpart of the paper's `init(net)`: buffers
+/// are allocated according to the compiler's plan (aliases shared), the
+/// program is lowered to native kernels, and [`Executor::forward`] /
+/// [`Executor::backward`] execute it for one batch.
+pub struct Executor {
+    net: CompiledNet,
+    plan: Plan,
+    store: BufferStore,
+    cfg: ExecConfig,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("batch", &self.net.batch)
+            .field("forward_groups", &self.plan.forward.len())
+            .field("backward_groups", &self.plan.backward.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executor {
+    /// Lowers and allocates a compiled network with the default registry
+    /// and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the plan references unknown buffers or kernels, or when
+    /// static bounds verification rejects a statement.
+    pub fn new(net: CompiledNet) -> Result<Self, RuntimeError> {
+        Self::with_registry(net, &KernelRegistry::with_builtins(), ExecConfig::default())
+    }
+
+    /// Lowers with an explicit kernel registry and configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Executor::new`].
+    pub fn with_registry(
+        net: CompiledNet,
+        registry: &KernelRegistry,
+        cfg: ExecConfig,
+    ) -> Result<Self, RuntimeError> {
+        let store = BufferStore::new(&net.buffers, net.batch)?;
+        let plan = crate::lower::lower(&net, &store, registry, net.vectorize)?;
+        let mut exec = Executor {
+            net,
+            plan,
+            store,
+            cfg,
+        };
+        exec.reset_params()?;
+        Ok(exec)
+    }
+
+    /// Re-initializes every parameter buffer from its declared initial
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates buffer-lookup failures.
+    pub fn reset_params(&mut self) -> Result<(), RuntimeError> {
+        let inits = std::mem::take(&mut self.net.param_inits);
+        for (name, init) in &inits {
+            self.store.write(name, init)?;
+        }
+        self.net.param_inits = inits;
+        Ok(())
+    }
+
+    /// The batch size.
+    pub fn batch(&self) -> usize {
+        self.net.batch
+    }
+
+    /// The compiled network.
+    pub fn compiled(&self) -> &CompiledNet {
+        &self.net
+    }
+
+    /// The learnable parameters.
+    pub fn params(&self) -> &[ParamBinding] {
+        &self.net.params
+    }
+
+    /// Total floats allocated (memory metric for ablations).
+    pub fn allocated_elements(&self) -> usize {
+        self.store.total_elements()
+    }
+
+    /// Writes a data ensemble's batch: `data` holds `batch * per_item`
+    /// values, item-major.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ensembles or wrong lengths.
+    pub fn set_input(&mut self, ensemble: &str, data: &[f32]) -> Result<(), RuntimeError> {
+        let buffer = self
+            .net
+            .inputs
+            .iter()
+            .find(|i| i.ensemble == ensemble)
+            .map(|i| i.buffer.clone())
+            .ok_or_else(|| RuntimeError::UnknownBuffer {
+                name: format!("{ensemble} (data ensemble)"),
+            })?;
+        self.store.write(&buffer, data)
+    }
+
+    /// Reads a buffer's full storage.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown buffers.
+    pub fn read_buffer(&self, name: &str) -> Result<Vec<f32>, RuntimeError> {
+        self.store.read(name)
+    }
+
+    /// Reads one batch item of a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown buffers.
+    pub fn read_item(&self, name: &str, item: usize) -> Result<Vec<f32>, RuntimeError> {
+        self.store.read_item(name, item)
+    }
+
+    /// Overwrites a buffer's full storage (test/diagnostic hook).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown buffers or wrong lengths.
+    pub fn write_buffer(&mut self, name: &str, data: &[f32]) -> Result<(), RuntimeError> {
+        self.store.write(name, data)
+    }
+
+    /// Runs forward propagation for the current batch.
+    pub fn forward(&mut self) {
+        let plan = std::mem::replace(
+            &mut self.plan,
+            Plan {
+                forward: Vec::new(),
+                backward: Vec::new(),
+                n_slots: 0,
+            },
+        );
+        for g in &plan.forward {
+            self.run_group(g, plan.n_slots);
+        }
+        self.plan = plan;
+    }
+
+    /// Runs backward propagation (zeroing activation and parameter
+    /// gradients first).
+    pub fn backward(&mut self) {
+        self.store.zero_grads();
+        self.store.zero_param_grads();
+        let plan = std::mem::replace(
+            &mut self.plan,
+            Plan {
+                forward: Vec::new(),
+                backward: Vec::new(),
+                n_slots: 0,
+            },
+        );
+        for g in &plan.backward {
+            self.run_group(g, plan.n_slots);
+        }
+        self.plan = plan;
+    }
+
+    /// Runs forward propagation, returning per-group wall-clock
+    /// milliseconds — the per-layer profile used by the Figure-15
+    /// breakdown and the cluster simulator.
+    pub fn forward_timed(&mut self) -> Vec<(String, f64)> {
+        let plan = std::mem::replace(
+            &mut self.plan,
+            Plan {
+                forward: Vec::new(),
+                backward: Vec::new(),
+                n_slots: 0,
+            },
+        );
+        let mut out = Vec::with_capacity(plan.forward.len());
+        for g in &plan.forward {
+            let t0 = std::time::Instant::now();
+            self.run_group(g, plan.n_slots);
+            out.push((g.name.clone(), t0.elapsed().as_secs_f64() * 1e3));
+        }
+        self.plan = plan;
+        out
+    }
+
+    /// Runs backward propagation, returning per-group wall-clock
+    /// milliseconds.
+    pub fn backward_timed(&mut self) -> Vec<(String, f64)> {
+        self.store.zero_grads();
+        self.store.zero_param_grads();
+        let plan = std::mem::replace(
+            &mut self.plan,
+            Plan {
+                forward: Vec::new(),
+                backward: Vec::new(),
+                n_slots: 0,
+            },
+        );
+        let mut out = Vec::with_capacity(plan.backward.len());
+        for g in &plan.backward {
+            let t0 = std::time::Instant::now();
+            self.run_group(g, plan.n_slots);
+            out.push((g.name.clone(), t0.elapsed().as_secs_f64() * 1e3));
+        }
+        self.plan = plan;
+        out
+    }
+
+    /// The mean loss across batch items and loss ensembles after a
+    /// forward pass.
+    pub fn loss(&self) -> f32 {
+        let mut total = 0.0;
+        let mut count = 0;
+        for name in &self.net.losses {
+            if let Ok(values) = self.store.read(name) {
+                total += values.iter().sum::<f32>();
+                count += self.net.batch;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f32
+        }
+    }
+
+    /// Applies `f` to each `(value, grad, lr_mult)` parameter pair.
+    ///
+    /// This is the solvers' access path; gradients are those accumulated
+    /// by the last backward pass (summed over the batch).
+    pub fn for_each_param_mut(&mut self, mut f: impl FnMut(&mut [f32], &[f32], f32)) {
+        for i in 0..self.net.params.len() {
+            let p = self.net.params[i].clone();
+            let vi = self.store.info(&p.value).expect("param buffer").storage;
+            let gi = self.store.info(&p.grad).expect("param grad buffer").storage;
+            assert_ne!(vi, gi, "parameter aliases its own gradient");
+            let base = self.store.storages.as_mut_ptr();
+            // SAFETY: vi != gi index distinct vector elements of a live,
+            // exclusively borrowed Vec.
+            let (vs, gs) = unsafe { ((*base.add(vi)).as_mut_slice(), (*base.add(gi)).as_slice()) };
+            f(vs, gs, p.lr_mult);
+        }
+    }
+
+    fn run_group(&mut self, g: &CGroup, n_slots: usize) {
+        let batch = self.net.batch;
+        for seg in &g.segments {
+            match seg {
+                Segment::Batched(b) => self.run_batched_gemm(b),
+                Segment::ExternWhole(e) => self.run_extern_whole(g, e),
+                Segment::PerItem(kernels) => {
+                    let threads = if g.parallel {
+                        self.cfg.threads.min(batch).max(1)
+                    } else {
+                        1
+                    };
+                    let base = self.store.storages.as_mut_ptr();
+                    if threads <= 1 {
+                        let mut env = vec![0i64; n_slots.max(1)];
+                        for item in 0..batch {
+                            // SAFETY: single-threaded exclusive access
+                            // through `&mut self`.
+                            let frame = unsafe { build_frame(base, g, item, None) };
+                            for k in kernels {
+                                exec_kernel(k, &mut env, &frame, batch, g, item);
+                            }
+                        }
+                    } else {
+                        self.run_items_parallel(g, kernels, threads, n_slots);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Static interleaved schedule across a scoped worker pool, with
+    /// per-thread parameter-gradient scratch reduced afterwards.
+    fn run_items_parallel(
+        &mut self,
+        g: &CGroup,
+        kernels: &[Kernel],
+        threads: usize,
+        n_slots: usize,
+    ) {
+        let batch = self.net.batch;
+        let pg_storages: Vec<usize> = {
+            let mut v: Vec<usize> = g
+                .bufs
+                .iter()
+                .filter(|b| b.param_grad)
+                .map(|b| b.storage)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut scratches: Vec<Vec<Vec<f32>>> = (0..threads)
+            .map(|_| {
+                pg_storages
+                    .iter()
+                    .map(|&s| vec![0.0f32; self.store.storages[s].len()])
+                    .collect()
+            })
+            .collect();
+
+        #[derive(Clone, Copy)]
+        struct SendBase(*mut Vec<f32>);
+        // SAFETY: threads access disjoint batched slices; shared
+        // (unbatched) storages are read-only or redirected to scratch.
+        unsafe impl Send for SendBase {}
+        unsafe impl Sync for SendBase {}
+        let base = SendBase(self.store.storages.as_mut_ptr());
+
+        crossbeam::scope(|scope| {
+            for (tid, scratch) in scratches.iter_mut().enumerate() {
+                let pg = &pg_storages;
+                let scratch_ptrs: Vec<(*mut f32, usize)> = scratch
+                    .iter_mut()
+                    .map(|s| (s.as_mut_ptr(), s.len()))
+                    .collect();
+                struct SendScratch(Vec<(*mut f32, usize)>);
+                unsafe impl Send for SendScratch {}
+                let scratch_ptrs = SendScratch(scratch_ptrs);
+                scope.spawn(move |_| {
+                    let base = base;
+                    let scratch_ptrs = scratch_ptrs;
+                    let mut env = vec![0i64; n_slots.max(1)];
+                    // schedule(static, 1): interleave items across threads.
+                    let mut item = tid;
+                    while item < batch {
+                        // SAFETY: see module docs; per-thread scratch
+                        // pointers are exclusive to this thread.
+                        let frame = unsafe {
+                            build_frame(base.0, g, item, Some((pg, &scratch_ptrs.0)))
+                        };
+                        for k in kernels {
+                            exec_kernel(k, &mut env, &frame, batch, g, item);
+                        }
+                        item += threads;
+                    }
+                });
+            }
+        })
+        .expect("worker pool panicked");
+
+        // Synchronized reduction of per-thread gradients.
+        for (si, &storage) in pg_storages.iter().enumerate() {
+            let main = &mut self.store.storages[storage];
+            for scratch in &scratches {
+                for (m, s) in main.iter_mut().zip(&scratch[si]) {
+                    *m += s;
+                }
+            }
+        }
+    }
+
+    fn run_batched_gemm(&mut self, b: &BatchedGemm) {
+        assert!(b.c != b.a && b.c != b.b, "batched gemm aliasing");
+        let base = self.store.storages.as_mut_ptr();
+        // SAFETY: a, b, c are distinct storage indices (asserted); a and b
+        // are only read.
+        let (a, bb, c) = unsafe {
+            let av: &Vec<f32> = &*base.add(b.a);
+            let bv: &Vec<f32> = &*base.add(b.b);
+            let cv: &mut Vec<f32> = &mut *base.add(b.c);
+            (&av[b.a_base..], &bv[b.b_base..], &mut cv[b.c_base..])
+        };
+        let ta = if b.ta { Transpose::Yes } else { Transpose::No };
+        let tb = if b.tb { Transpose::Yes } else { Transpose::No };
+        GEMM_ENGINE.with(|e| {
+            e.borrow_mut().compute(ta, tb, b.m, b.n, b.k, a, bb, c);
+        });
+    }
+
+    fn run_extern_whole(&mut self, g: &CGroup, e: &CExtern) {
+        let batch = self.net.batch;
+        let per_item: Vec<usize> = e.bufs.iter().map(|&i| g.bufs[i].per_item).collect();
+        let batched: Vec<bool> = e.bufs.iter().map(|&i| g.bufs[i].batched).collect();
+        let base = self.store.storages.as_mut_ptr();
+        let mut views: Vec<&mut [f32]> = Vec::with_capacity(e.bufs.len());
+        for &i in &e.bufs {
+            let s = g.bufs[i].storage;
+            // SAFETY: lowering rejects duplicate storages per extern, so
+            // these views are disjoint.
+            views.push(unsafe { (*base.add(s)).as_mut_slice() });
+        }
+        let mut inv = ExternInvocation {
+            attrs: &e.attrs,
+            batch,
+            item: None,
+            per_item,
+            batched,
+            bufs: views,
+        };
+        (e.f)(&mut inv).expect("extern kernel failed");
+    }
+}
+
+/// Executes one kernel for one batch item.
+fn exec_kernel(k: &Kernel, env: &mut [i64], frame: &Frame, batch: usize, g: &CGroup, item: usize) {
+    match k {
+        Kernel::Loop { slot, extent, body } => {
+            for v in 0..*extent {
+                env[*slot] = v as i64;
+                for k in body {
+                    exec_kernel(k, env, frame, batch, g, item);
+                }
+            }
+        }
+        Kernel::Inner(inner) => exec_inner(inner, env, frame),
+        Kernel::Assign(a) => {
+            let v = eval_expr(&a.expr, &a.loads, env, frame);
+            let d = &frame.bufs[a.dest.buf];
+            d.write(a.dest.idx.eval(env), a.op, v);
+        }
+        Kernel::Gemm(gm) => exec_gemm(gm, env, frame),
+        Kernel::Copy(c) => exec_copy(c, env, frame),
+        Kernel::Gather(ga) => exec_gather(ga, frame),
+        Kernel::Extern(e) => {
+            let per_item: Vec<usize> = e.bufs.iter().map(|&i| g.bufs[i].per_item).collect();
+            let batched: Vec<bool> = e.bufs.iter().map(|&i| g.bufs[i].batched).collect();
+            let mut views: Vec<&mut [f32]> = Vec::with_capacity(e.bufs.len());
+            for &i in &e.bufs {
+                let b = &frame.bufs[i];
+                views.push(b.slice_mut(0, b.len));
+            }
+            let mut inv = ExternInvocation {
+                attrs: &e.attrs,
+                batch,
+                item: Some(item),
+                per_item,
+                batched,
+                bufs: views,
+            };
+            (e.f)(&mut inv).expect("extern kernel failed");
+        }
+    }
+}
+
+#[inline]
+fn eval_expr(e: &CExpr, loads: &[CRef], env: &[i64], frame: &Frame) -> f32 {
+    match e {
+        CExpr::Const(c) => *c,
+        CExpr::Load(i) => {
+            let r = &loads[*i];
+            frame.bufs[r.buf].read(r.idx.eval(env))
+        }
+        CExpr::Un(op, x) => op.apply(eval_expr(x, loads, env, frame)),
+        CExpr::Bin(op, a, b) => op.apply(
+            eval_expr(a, loads, env, frame),
+            eval_expr(b, loads, env, frame),
+        ),
+    }
+}
+
+/// Evaluates an expression with per-load element offsets (the hoisted
+/// inner-loop form).
+#[inline]
+fn eval_expr_off(e: &CExpr, loads: &[CRef], offs: &[i64], frame: &Frame) -> f32 {
+    match e {
+        CExpr::Const(c) => *c,
+        CExpr::Load(i) => frame.bufs[loads[*i].buf].read(offs[*i]),
+        CExpr::Un(op, x) => op.apply(eval_expr_off(x, loads, offs, frame)),
+        CExpr::Bin(op, a, b) => op.apply(
+            eval_expr_off(a, loads, offs, frame),
+            eval_expr_off(b, loads, offs, frame),
+        ),
+    }
+}
+
+fn exec_inner(inner: &InnerLoop, env: &mut [i64], frame: &Frame) {
+    let a = &inner.assign;
+    let slot = inner.slot;
+    let n = inner.extent;
+    env[slot] = 0;
+    match inner.fast {
+        FastKind::Dot => {
+            if let CExpr::Bin(BinOp::Mul, l, r) = &a.expr {
+                if let (CExpr::Load(i), CExpr::Load(j)) = (l.as_ref(), r.as_ref()) {
+                    let ra = &a.loads[*i];
+                    let rb = &a.loads[*j];
+                    let xa = frame.bufs[ra.buf].slice(ra.idx.eval(env), n);
+                    let xb = frame.bufs[rb.buf].slice(rb.idx.eval(env), n);
+                    let mut acc = 0.0f32;
+                    for (p, q) in xa.iter().zip(xb) {
+                        acc += p * q;
+                    }
+                    let d = &frame.bufs[a.dest.buf];
+                    d.write(a.dest.idx.eval(env), AssignOp::Add, acc);
+                    return;
+                }
+            }
+            unreachable!("Dot classification implies mul-of-loads");
+        }
+        FastKind::MaxReduce => {
+            if let CExpr::Load(i) = &a.expr {
+                let r = &a.loads[*i];
+                let s = frame.bufs[r.buf].slice(r.idx.eval(env), n);
+                let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let d = &frame.bufs[a.dest.buf];
+                d.write(a.dest.idx.eval(env), AssignOp::Max, m);
+                return;
+            }
+            unreachable!("MaxReduce classification implies a load");
+        }
+        FastKind::UnitMap if run_unit_fast(inner, env, frame) => {}
+        FastKind::UnitMap | FastKind::Generic => {
+            // Stack-allocated offset tables: this runs once per inner
+            // loop, so a heap allocation here would dominate small loops.
+            const MAX_LOADS: usize = 12;
+            let nl = a.loads.len();
+            debug_assert!(nl <= MAX_LOADS, "expression with {nl} loads");
+            let mut offs = [0i64; MAX_LOADS];
+            let mut steps = [0i64; MAX_LOADS];
+            for (i, l) in a.loads.iter().enumerate().take(MAX_LOADS) {
+                offs[i] = l.idx.eval(env);
+                steps[i] = l.idx.coef(slot);
+            }
+            let mut doff = a.dest.idx.eval(env);
+            let dstep = a.dest.idx.coef(slot);
+            let d = &frame.bufs[a.dest.buf];
+            for _ in 0..n {
+                let v = eval_expr_off(&a.expr, &a.loads, &offs[..nl], frame);
+                d.write(doff, a.op, v);
+                doff += dstep;
+                for (o, s) in offs.iter_mut().zip(&steps).take(nl) {
+                    *o += *s;
+                }
+            }
+        }
+    }
+    env[slot] = 0;
+}
+
+/// Specialized loops for the element-wise shapes that dominate network
+/// execution (the runtime analogue of the generated code's `#pragma simd`
+/// loops). Returns `false` when the expression does not match a known
+/// shape, falling back to the hoisted interpreter.
+fn run_unit_fast(inner: &InnerLoop, env: &[i64], frame: &Frame) -> bool {
+    let a = &inner.assign;
+    let slot = inner.slot;
+    let n = inner.extent;
+    let load = |i: &usize| &a.loads[*i];
+    let unit = |i: &usize| load(i).idx.coef(slot) == 1;
+    let dest = &frame.bufs[a.dest.buf];
+    let d0 = a.dest.idx.eval(env);
+    let set = a.op == AssignOp::Set;
+    match &a.expr {
+        // dest[i] = max(src[i], k): ReLU.
+        CExpr::Bin(BinOp::Max, l, r) if set => {
+            if let (CExpr::Load(i), CExpr::Const(k)) = (l.as_ref(), r.as_ref()) {
+                if unit(i) {
+                    let s = frame.bufs[load(i).buf].slice(load(i).idx.eval(env), n);
+                    let d = dest.slice_mut(d0, n);
+                    let k = *k;
+                    for (dv, sv) in d.iter_mut().zip(s) {
+                        *dv = sv.max(k);
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+        // dest[i] (op)= src[i]: copy / accumulate.
+        CExpr::Load(i) if unit(i) => {
+            let s = frame.bufs[load(i).buf].slice(load(i).idx.eval(env), n);
+            let d = dest.slice_mut(d0, n);
+            if set {
+                d.copy_from_slice(s);
+            } else if a.op == AssignOp::Add {
+                for (dv, sv) in d.iter_mut().zip(s) {
+                    *dv += sv;
+                }
+            } else {
+                for (dv, sv) in d.iter_mut().zip(s) {
+                    *dv = dv.max(*sv);
+                }
+            }
+            true
+        }
+        // dest[i] = k: fill (max-neuron -inf init).
+        CExpr::Const(k) if set => {
+            dest.slice_mut(d0, n).fill(*k);
+            true
+        }
+        // dest[i] += g * eq(in[i], v): max-pooling gradient routing.
+        CExpr::Bin(BinOp::Mul, l, r) if a.op == AssignOp::Add => {
+            let (g_load, eq) = match (l.as_ref(), r.as_ref()) {
+                (CExpr::Load(g), CExpr::Bin(BinOp::EqIndicator, x, v)) => (g, (x, v)),
+                _ => return run_unit_fast_binary(inner, env, frame),
+            };
+            if load(g_load).idx.coef(slot) != 0 {
+                return run_unit_fast_binary(inner, env, frame);
+            }
+            if let (CExpr::Load(x), CExpr::Load(v)) = (eq.0.as_ref(), eq.1.as_ref()) {
+                if unit(x) && load(v).idx.coef(slot) == 0 {
+                    let gval = frame.bufs[load(g_load).buf].read(load(g_load).idx.eval(env));
+                    let vval = frame.bufs[load(v).buf].read(load(v).idx.eval(env));
+                    let xs = frame.bufs[load(x).buf].slice(load(x).idx.eval(env), n);
+                    let d = dest.slice_mut(d0, n);
+                    for (dv, xv) in d.iter_mut().zip(xs) {
+                        if *xv == vval {
+                            *dv += gval;
+                        }
+                    }
+                    return true;
+                }
+            }
+            run_unit_fast_binary(inner, env, frame)
+        }
+        // dest[i] (op)= x[i] * y[i] / x[i] + y[i], including the in-place
+        // ReLU gradient g[i] * step(v[i]).
+        CExpr::Bin(BinOp::Mul | BinOp::Add, _, _) => {
+            run_unit_fast_binary(inner, env, frame)
+        }
+        _ => false,
+    }
+}
+
+/// The binary element-wise fast paths (`x op y`, `x op const`,
+/// `g * step(v)`), split out so the pooling-gradient arm can fall through
+/// to them.
+fn run_unit_fast_binary(inner: &InnerLoop, env: &[i64], frame: &Frame) -> bool {
+    let a = &inner.assign;
+    let slot = inner.slot;
+    let n = inner.extent;
+    let load = |i: &usize| &a.loads[*i];
+    let unit = |i: &usize| load(i).idx.coef(slot) == 1;
+    let dest = &frame.bufs[a.dest.buf];
+    let d0 = a.dest.idx.eval(env);
+    let set = a.op == AssignOp::Set;
+    match &a.expr {
+        CExpr::Bin(op @ (BinOp::Mul | BinOp::Add), l, r) => {
+            let (i, rhs) = match l.as_ref() {
+                CExpr::Load(i) if unit(i) => (i, r.as_ref()),
+                _ => return false,
+            };
+            match rhs {
+                CExpr::Load(j) if unit(j) => {
+                    let s1 = frame.bufs[load(i).buf].slice(load(i).idx.eval(env), n);
+                    let s2 = frame.bufs[load(j).buf].slice(load(j).idx.eval(env), n);
+                    let d = dest.slice_mut(d0, n);
+                    let mul = *op == BinOp::Mul;
+                    if set {
+                        for ((dv, x), y) in d.iter_mut().zip(s1).zip(s2) {
+                            *dv = if mul { x * y } else { x + y };
+                        }
+                    } else if a.op == AssignOp::Add {
+                        for ((dv, x), y) in d.iter_mut().zip(s1).zip(s2) {
+                            *dv += if mul { x * y } else { x + y };
+                        }
+                    } else {
+                        return false;
+                    }
+                    true
+                }
+                CExpr::Un(UnaryOp::Step, x) if *op == BinOp::Mul => {
+                    if let CExpr::Load(j) = x.as_ref() {
+                        if unit(j) && set {
+                            let s1 =
+                                frame.bufs[load(i).buf].slice(load(i).idx.eval(env), n);
+                            let s2 =
+                                frame.bufs[load(j).buf].slice(load(j).idx.eval(env), n);
+                            let d = dest.slice_mut(d0, n);
+                            for ((dv, g), v) in d.iter_mut().zip(s1).zip(s2) {
+                                *dv = if *v > 0.0 { *g } else { 0.0 };
+                            }
+                            return true;
+                        }
+                    }
+                    false
+                }
+                CExpr::Const(k) => {
+                    let s1 = frame.bufs[load(i).buf].slice(load(i).idx.eval(env), n);
+                    let d = dest.slice_mut(d0, n);
+                    let (k, mul) = (*k, *op == BinOp::Mul);
+                    if set {
+                        for (dv, x) in d.iter_mut().zip(s1) {
+                            *dv = if mul { x * k } else { x + k };
+                        }
+                    } else if a.op == AssignOp::Add {
+                        for (dv, x) in d.iter_mut().zip(s1) {
+                            *dv += if mul { x * k } else { x + k };
+                        }
+                    } else {
+                        return false;
+                    }
+                    true
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+fn exec_gemm(g: &CGemm, env: &[i64], frame: &Frame) {
+    let a_need = if g.ta { g.k * g.m } else { g.m * g.k };
+    let b_need = if g.tb { g.n * g.k } else { g.k * g.n };
+    let a = frame.bufs[g.a.buf].slice(g.a.idx.eval(env), a_need);
+    let b = frame.bufs[g.b.buf].slice(g.b.idx.eval(env), b_need);
+    let c = frame.bufs[g.c.buf].slice_mut(g.c.idx.eval(env), g.m * g.n);
+    let ta = if g.ta { Transpose::Yes } else { Transpose::No };
+    let tb = if g.tb { Transpose::Yes } else { Transpose::No };
+    GEMM_ENGINE.with(|e| {
+        e.borrow_mut().compute(ta, tb, g.m, g.n, g.k, a, b, c);
+    });
+}
+
+fn exec_copy(c: &CCopy, env: &[i64], frame: &Frame) {
+    if let Some(table) = &c.programs {
+        // Mixed-radix program lookup over the offset slots.
+        let mut idx = 0usize;
+        for (&slot, &ext) in table.slots.iter().zip(&table.extents) {
+            idx = idx * ext + env[slot] as usize;
+        }
+        exec_copy_program(c, &table.programs[idx], frame);
+        return;
+    }
+    let offsets: Vec<i64> = c.offsets.iter().map(|o| o.eval(env)).collect();
+    if c.never_oob {
+        exec_copy_fast(c, &offsets, frame);
+        return;
+    }
+    exec_copy_clipped(c, &offsets, frame);
+}
+
+/// Executes a precompiled transfer program: the fastest path — every
+/// clipping decision was made at lowering.
+fn exec_copy_program(
+    c: &CCopy,
+    prog: &crate::lower::CopyProgram,
+    frame: &Frame,
+) {
+    let dest = &frame.bufs[c.dest];
+    let src = &frame.bufs[c.src];
+    let contiguous = prog.s_step == 1 && prog.d_step == 1;
+    if c.scatter {
+        for r in &prog.runs {
+            if r.len == 0 {
+                continue;
+            }
+            let d0 = r.d_off + r.pre as i64 * prog.d_step;
+            if contiguous {
+                let d = dest.slice(d0, r.len as usize);
+                let s = src.slice_mut(r.s_off, r.len as usize);
+                for (sv, dv) in s.iter_mut().zip(d) {
+                    *sv += dv;
+                }
+            } else {
+                let (mut so, mut do_) = (r.s_off, d0);
+                for _ in 0..r.len {
+                    src.write(so, AssignOp::Add, dest.read(do_));
+                    so += prog.s_step;
+                    do_ += prog.d_step;
+                }
+            }
+        }
+    } else {
+        for r in &prog.runs {
+            let mut do_ = r.d_off;
+            if prog.d_step == 1 {
+                if r.pre > 0 {
+                    dest.slice_mut(do_, r.pre as usize).fill(0.0);
+                    do_ += r.pre as i64;
+                }
+                if r.len > 0 {
+                    if prog.s_step == 1 {
+                        let s = src.slice(r.s_off, r.len as usize);
+                        dest.slice_mut(do_, r.len as usize).copy_from_slice(s);
+                    } else {
+                        let mut so = r.s_off;
+                        let d = dest.slice_mut(do_, r.len as usize);
+                        for dv in d {
+                            *dv = src.read(so);
+                            so += prog.s_step;
+                        }
+                    }
+                    do_ += r.len as i64;
+                }
+                if r.post > 0 {
+                    dest.slice_mut(do_, r.post as usize).fill(0.0);
+                }
+            } else {
+                for _ in 0..r.pre {
+                    dest.write(do_, AssignOp::Set, 0.0);
+                    do_ += prog.d_step;
+                }
+                let mut so = r.s_off;
+                for _ in 0..r.len {
+                    dest.write(do_, AssignOp::Set, src.read(so));
+                    so += prog.s_step;
+                    do_ += prog.d_step;
+                }
+                for _ in 0..r.post {
+                    dest.write(do_, AssignOp::Set, 0.0);
+                    do_ += prog.d_step;
+                }
+            }
+        }
+    }
+}
+
+/// General copy with zero padding: an odometer over the outer dimensions
+/// with incrementally maintained per-source-dimension indices; the
+/// innermost dimension is clipped to its valid interval analytically
+/// (every source index is affine in the inner counter).
+fn exec_copy_clipped(c: &CCopy, offsets: &[i64], frame: &Frame) {
+    let ndd = c.extents.len();
+    let nsd = c.src_dims.len();
+    let dest = &frame.bufs[c.dest];
+    let src = &frame.bufs[c.src];
+    let last = ndd - 1;
+    let inner = c.extents[last] as i64;
+    let d_step = c.dest_strides[last] as i64;
+    let s_flat_step = c.flat_stride[last];
+
+    // Per-source-dim index at the counter origin (g = offsets).
+    let mut sidx = vec![0i64; nsd];
+    for (s, si) in sidx.iter_mut().enumerate() {
+        *si = c.src_base[s]
+            + offsets
+                .iter()
+                .enumerate()
+                .map(|(d, &o)| c.coefs[s][d] * o)
+                .sum::<i64>();
+    }
+    let mut d_off: i64 = offsets
+        .iter()
+        .zip(&c.dest_strides)
+        .map(|(&o, &st)| o * st as i64)
+        .sum();
+    // Maintain the flat source offset incrementally alongside sidx.
+    let mut s_base: i64 = (0..nsd).map(|s| sidx[s] * c.src_strides[s] as i64).sum();
+
+    let outer: usize = c.extents[..last].iter().product();
+    let mut ctr = vec![0usize; last];
+    for _ in 0..outer.max(1) {
+        // Valid inner interval [lo, hi): intersect per-dimension
+        // constraints 0 <= sidx[s] + coef*i < dims[s]. Coefficients are
+        // almost always 0 or ±1, so divisions are the cold path.
+        let mut lo = 0i64;
+        let mut hi = inner;
+        for s in 0..nsd {
+            let coef = c.coefs[s][last];
+            let v = sidx[s];
+            let dim = c.src_dims[s] as i64;
+            match coef {
+                0 => {
+                    if v < 0 || v >= dim {
+                        hi = 0;
+                        break;
+                    }
+                }
+                1 => {
+                    lo = lo.max(-v);
+                    hi = hi.min(dim - v);
+                }
+                -1 => {
+                    hi = hi.min(v + 1);
+                    lo = lo.max(v - dim + 1);
+                }
+                coef if coef > 0 => {
+                    lo = lo.max(div_ceil_i64(-v, coef));
+                    hi = hi.min(div_ceil_i64(dim - v, coef));
+                }
+                coef => {
+                    let nc = -coef;
+                    hi = hi.min(v / nc + 1);
+                    lo = lo.max(div_ceil_i64(v - dim + 1, nc));
+                }
+            }
+        }
+        let lo = lo.clamp(0, inner);
+        let hi = hi.clamp(lo, inner);
+        let s_off0: i64 = s_base;
+        if c.scatter {
+            if hi > lo {
+                let (mut so, mut do_) = (s_off0 + lo * s_flat_step, d_off + lo * d_step);
+                if s_flat_step == 1 && d_step == 1 {
+                    let d = dest.slice(do_, (hi - lo) as usize);
+                    let s = src.slice_mut(so, (hi - lo) as usize);
+                    for (sv, dv) in s.iter_mut().zip(d) {
+                        *sv += dv;
+                    }
+                } else {
+                    for _ in lo..hi {
+                        src.write(so, AssignOp::Add, dest.read(do_));
+                        so += s_flat_step;
+                        do_ += d_step;
+                    }
+                }
+            }
+        } else {
+            // Pad, copy, pad.
+            let mut do_ = d_off;
+            for _ in 0..lo {
+                dest.write(do_, AssignOp::Set, 0.0);
+                do_ += d_step;
+            }
+            if hi > lo {
+                if s_flat_step == 1 && d_step == 1 {
+                    let s = src.slice(s_off0 + lo, (hi - lo) as usize);
+                    dest.slice_mut(do_, (hi - lo) as usize).copy_from_slice(s);
+                    do_ += hi - lo;
+                } else {
+                    let mut so = s_off0 + lo * s_flat_step;
+                    for _ in lo..hi {
+                        dest.write(do_, AssignOp::Set, src.read(so));
+                        so += s_flat_step;
+                        do_ += d_step;
+                    }
+                }
+            }
+            for _ in hi..inner {
+                dest.write(do_, AssignOp::Set, 0.0);
+                do_ += d_step;
+            }
+        }
+        // Advance the outer odometer, updating sidx, s_base, and d_off.
+        let mut d = last;
+        while d > 0 {
+            d -= 1;
+            ctr[d] += 1;
+            d_off += c.dest_strides[d] as i64;
+            s_base += c.flat_stride[d];
+            for s in 0..nsd {
+                sidx[s] += c.coefs[s][d];
+            }
+            if ctr[d] < c.extents[d] {
+                break;
+            }
+            ctr[d] = 0;
+            d_off -= (c.dest_strides[d] * c.extents[d]) as i64;
+            s_base -= c.flat_stride[d] * c.extents[d] as i64;
+            for s in 0..nsd {
+                sidx[s] -= c.coefs[s][d] * c.extents[d] as i64;
+            }
+        }
+    }
+}
+
+#[inline]
+fn div_ceil_i64(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    if a >= 0 {
+        (a + b - 1) / b
+    } else {
+        a / b
+    }
+}
+
+/// Padding-free copy: walk destination and flat source offsets
+/// incrementally with a mixed-radix counter; the innermost dimension is a
+/// tight strided (or contiguous) run.
+fn exec_copy_fast(c: &CCopy, offsets: &[i64], frame: &Frame) {
+    let ndd = c.extents.len();
+    let dest = &frame.bufs[c.dest];
+    let src = &frame.bufs[c.src];
+    let last = ndd - 1;
+    let inner = c.extents[last];
+    let s_step = c.flat_stride[last];
+    let d_step = c.dest_strides[last] as i64;
+
+    // Initial offsets at g = offsets (counter all-zero).
+    let mut d_off: i64 = offsets
+        .iter()
+        .zip(&c.dest_strides)
+        .map(|(&o, &s)| o * s as i64)
+        .sum();
+    let mut s_off: i64 = c.src_flat_base
+        + offsets
+            .iter()
+            .zip(&c.flat_stride)
+            .map(|(&o, &f)| o * f)
+            .sum::<i64>();
+
+    let outer: usize = c.extents[..last].iter().product();
+    let mut ctr = vec![0usize; last];
+    for _ in 0..outer.max(1) {
+        // Innermost run.
+        if c.scatter {
+            if s_step == 1 && d_step == 1 {
+                let d = dest.slice(d_off, inner);
+                let s = src.slice_mut(s_off, inner);
+                for (sv, dv) in s.iter_mut().zip(d) {
+                    *sv += dv;
+                }
+            } else {
+                let (mut so, mut do_) = (s_off, d_off);
+                for _ in 0..inner {
+                    src.write(so, AssignOp::Add, dest.read(do_));
+                    so += s_step;
+                    do_ += d_step;
+                }
+            }
+        } else if s_step == 1 && d_step == 1 {
+            let s = src.slice(s_off, inner);
+            dest.slice_mut(d_off, inner).copy_from_slice(s);
+        } else {
+            let (mut so, mut do_) = (s_off, d_off);
+            for _ in 0..inner {
+                dest.write(do_, AssignOp::Set, src.read(so));
+                so += s_step;
+                do_ += d_step;
+            }
+        }
+        // Advance the outer mixed-radix counter.
+        let mut d = last;
+        while d > 0 {
+            d -= 1;
+            ctr[d] += 1;
+            s_off += c.flat_stride[d];
+            d_off += c.dest_strides[d] as i64;
+            if ctr[d] < c.extents[d] {
+                break;
+            }
+            ctr[d] = 0;
+            s_off -= c.flat_stride[d] * c.extents[d] as i64;
+            d_off -= (c.dest_strides[d] * c.extents[d]) as i64;
+        }
+    }
+}
+fn exec_gather(g: &CGather, frame: &Frame) {
+    let dest = &frame.bufs[g.dest];
+    let src = &frame.bufs[g.src];
+    if g.scatter {
+        for (i, &t) in g.table.iter().enumerate() {
+            if t >= 0 {
+                src.write(t, AssignOp::Add, dest.read(i as i64));
+            }
+        }
+    } else {
+        for (i, &t) in g.table.iter().enumerate() {
+            let v = if t >= 0 { src.read(t) } else { 0.0 };
+            dest.write(i as i64, AssignOp::Set, v);
+        }
+    }
+}

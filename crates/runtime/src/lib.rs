@@ -1,0 +1,36 @@
+//! # latte-runtime
+//!
+//! The Latte runtime: buffer allocation, kernel lowering ("code
+//! generation"), the execution engine, solvers, data pipelines, and the
+//! data-parallel / heterogeneous / cluster training machinery of the
+//! paper's Section 6.
+//!
+//! * [`Executor`] — lowers a `latte_core::CompiledNet` to native kernels
+//!   and runs forward/backward passes over an allocated buffer store.
+//! * [`solver`] — SGD (+momentum, LR policies), RMSProp, AdaGrad, and the
+//!   `solve` training loop.
+//! * [`data`] — synthetic datasets and the double-buffered input loader.
+//! * [`parallel`] — intra-node data parallelism with synchronized or
+//!   *lossy* gradient accumulation (Figure 20).
+//! * [`accel`] — the simulated-coprocessor chunk scheduler (Figure 17).
+//! * [`cluster`] — the discrete-event cluster simulation with overlapped
+//!   ring all-reduce (Figures 18–19).
+//! * [`registry`] — extern kernels for normalization ensembles.
+
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod checkpoint;
+pub mod cluster;
+pub mod data;
+pub mod error;
+pub mod metrics;
+mod exec;
+mod lower;
+pub mod parallel;
+pub mod registry;
+pub mod solver;
+pub mod store;
+
+pub use error::RuntimeError;
+pub use exec::{ExecConfig, Executor};

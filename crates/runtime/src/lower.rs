@@ -1,0 +1,1084 @@
+//! Lowering: compiles the optimizer's loop-nest groups into executable
+//! kernels.
+//!
+//! This is the runtime's stand-in for the paper's code-generation stage
+//! (ParallelAccelerator.jl emitting C++ compiled by ICC). Every statement
+//! is translated once, ahead of execution, into a [`Kernel`] tree whose
+//! buffer references are pre-resolved affine functions of loop slots:
+//!
+//! * innermost loops are specialized — unit-stride multiply-accumulate
+//!   reductions become native dot products, and unit-stride element maps
+//!   run over raw slices (the stand-in for `#pragma simd` vectorization,
+//!   gated by the compiler's `vectorize` flag);
+//! * matched GEMM statements call the blocked kernel in `latte-tensor`;
+//!   top-level fully-connected GEMMs whose operands are batched buffers
+//!   are *hoisted* to one whole-batch GEMM per pass;
+//! * data-copy nests run as native strided loops with a contiguous-run
+//!   fast path and zero-padding at the source boundary.
+//!
+//! Lowering statically verifies that every compiled reference stays inside
+//! its buffer for all loop-variable values — a bounds proof that lets the
+//! execution hot path use unchecked accesses.
+
+use std::collections::HashMap;
+
+use latte_core::{CompiledNet, Group};
+use latte_ir::{
+    AssignOp, BinOp, BufRef, CopyStmt, Expr, ExternOp, GemmStmt, IndexExpr, Stmt,
+    UnaryOp,
+};
+
+use crate::error::RuntimeError;
+use crate::registry::{ExternFn, KernelRegistry};
+use crate::store::BufferStore;
+
+/// A compiled affine index: `base + Σ terms[i].1 * env[terms[i].0]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CIdx {
+    pub base: i64,
+    pub terms: Vec<(usize, i64)>,
+}
+
+impl CIdx {
+    pub fn constant(base: i64) -> Self {
+        CIdx {
+            base,
+            terms: Vec::new(),
+        }
+    }
+
+    pub fn eval(&self, env: &[i64]) -> i64 {
+        let mut v = self.base;
+        for &(slot, coef) in &self.terms {
+            v += coef * env[slot];
+        }
+        v
+    }
+
+    /// The coefficient of a slot (0 when absent).
+    pub fn coef(&self, slot: usize) -> i64 {
+        self.terms
+            .iter()
+            .find(|(s, _)| *s == slot)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Minimum and maximum value over slot ranges `[0, extent)`.
+    fn range(&self, extents: &[usize]) -> (i64, i64) {
+        let mut lo = self.base;
+        let mut hi = self.base;
+        for &(slot, coef) in &self.terms {
+            let max_v = extents.get(slot).map(|&e| e as i64 - 1).unwrap_or(0);
+            if coef >= 0 {
+                hi += coef * max_v;
+            } else {
+                lo += coef * max_v;
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// A buffer reference resolved to a buffer-table index plus an affine
+/// element offset.
+#[derive(Debug, Clone)]
+pub(crate) struct CRef {
+    pub buf: usize,
+    pub idx: CIdx,
+}
+
+/// A compiled scalar expression; loads index into the owning
+/// [`CAssign::loads`] table.
+#[derive(Debug, Clone)]
+pub(crate) enum CExpr {
+    Const(f32),
+    Load(usize),
+    Un(UnaryOp, Box<CExpr>),
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+}
+
+/// A compiled scalar store.
+#[derive(Debug, Clone)]
+pub(crate) struct CAssign {
+    pub dest: CRef,
+    pub op: AssignOp,
+    pub expr: CExpr,
+    pub loads: Vec<CRef>,
+}
+
+/// Specialization of an innermost loop, chosen at lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FastKind {
+    /// Per-element interpretation (hoisted strides).
+    Generic,
+    /// `dest += Σ a[i] * b[i]` with unit strides: native dot product.
+    Dot,
+    /// `dest[i] (op)= f(src[i])` with unit strides and a pure unary map.
+    UnitMap,
+    /// `dest max= src[i]` with unit stride: native max reduction
+    /// (max-pooling windows).
+    MaxReduce,
+}
+
+/// An innermost loop containing a single store.
+#[derive(Debug, Clone)]
+pub(crate) struct InnerLoop {
+    pub slot: usize,
+    pub extent: usize,
+    pub assign: CAssign,
+    pub fast: FastKind,
+}
+
+/// A compiled GEMM.
+#[derive(Debug, Clone)]
+pub(crate) struct CGemm {
+    pub ta: bool,
+    pub tb: bool,
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub a: CRef,
+    pub b: CRef,
+    pub c: CRef,
+}
+
+/// A whole-batch GEMM hoisted out of the per-item loop. Operand fields
+/// are *storage* indices (not group buffer indices): the whole storage is
+/// the batched operand.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchedGemm {
+    /// `true` transposes the (batch-major) left operand.
+    pub ta: bool,
+    pub tb: bool,
+    pub m: usize,
+    pub n: usize,
+    pub k: usize,
+    pub a: usize,
+    pub a_base: usize,
+    pub b: usize,
+    pub b_base: usize,
+    pub c: usize,
+    pub c_base: usize,
+}
+
+/// A compiled data-copy nest.
+#[derive(Debug, Clone)]
+pub(crate) struct CCopy {
+    pub dest: usize,
+    /// Row-major strides of the staging buffer.
+    pub dest_strides: Vec<usize>,
+    /// Iterated extents per destination dimension.
+    pub extents: Vec<usize>,
+    /// Global starting index per destination dimension.
+    pub offsets: Vec<CIdx>,
+    pub src: usize,
+    pub src_dims: Vec<usize>,
+    pub src_strides: Vec<usize>,
+    /// `coefs[s][d]`: source dim `s`'s dependence on global dest index `d`.
+    pub coefs: Vec<Vec<i64>>,
+    /// Constant part of each source index.
+    pub src_base: Vec<i64>,
+    pub scatter: bool,
+    /// Statically proven: no source index can ever fall outside the
+    /// buffer, so execution may skip every padding check and walk flat
+    /// offsets incrementally.
+    pub never_oob: bool,
+    /// Flat source-offset increment per unit of each global dest index:
+    /// `flat_stride[d] = Σ_s coefs[s][d] * src_strides[s]`.
+    pub flat_stride: Vec<i64>,
+    /// Constant flat source offset: `Σ_s src_base[s] * src_strides[s]`.
+    pub src_flat_base: i64,
+    /// Precompiled transfer programs, indexed by the values of the offset
+    /// slots (mixed-radix). All clipping decisions are resolved ahead of
+    /// time, leaving pure run copies at execution.
+    pub programs: Option<ProgramTable>,
+}
+
+/// A table of precompiled transfer programs, one per combination of the
+/// enclosing loop variables the copy's offsets depend on.
+#[derive(Debug, Clone)]
+pub(crate) struct ProgramTable {
+    /// Slots feeding the offsets, major first.
+    pub slots: Vec<usize>,
+    /// Extent of each slot.
+    pub extents: Vec<usize>,
+    /// Programs in mixed-radix order over `extents`.
+    pub programs: Vec<std::sync::Arc<CopyProgram>>,
+}
+
+/// One precompiled transfer program: the complete run list of a copy.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CopyProgram {
+    /// Inner source stride (elements) within a run.
+    pub s_step: i64,
+    /// Inner destination stride within a run.
+    pub d_step: i64,
+    /// The runs.
+    pub runs: Vec<CopyRun>,
+}
+
+/// One run: `pre` padding zeros, `len` transferred elements, `post`
+/// padding zeros (padding applies to gathers only).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CopyRun {
+    /// First destination element of the run (including padding).
+    pub d_off: i64,
+    /// First *transferred* source element.
+    pub s_off: i64,
+    /// Leading padding elements.
+    pub pre: u32,
+    /// Transferred elements.
+    pub len: u32,
+    /// Trailing padding elements.
+    pub post: u32,
+}
+
+/// Enumerates a copy's runs for fixed offset values — the shared
+/// generator behind both the precompiled programs and (indirectly) the
+/// runtime fallback semantics.
+pub(crate) fn copy_runs(c: &CCopy, offsets: &[i64]) -> CopyProgram {
+    let ndd = c.extents.len();
+    let nsd = c.src_dims.len();
+    let last = ndd - 1;
+    let inner = c.extents[last] as i64;
+    let mut prog = CopyProgram {
+        s_step: c.flat_stride[last],
+        d_step: c.dest_strides[last] as i64,
+        runs: Vec::new(),
+    };
+    let mut sidx = vec![0i64; nsd];
+    for (s, si) in sidx.iter_mut().enumerate() {
+        *si = c.src_base[s]
+            + offsets
+                .iter()
+                .enumerate()
+                .map(|(d, &o)| c.coefs[s][d] * o)
+                .sum::<i64>();
+    }
+    let mut d_off: i64 = offsets
+        .iter()
+        .zip(&c.dest_strides)
+        .map(|(&o, &st)| o * st as i64)
+        .sum();
+    let mut s_base: i64 = (0..nsd).map(|s| sidx[s] * c.src_strides[s] as i64).sum();
+    let outer: usize = c.extents[..last].iter().product();
+    let mut ctr = vec![0usize; last];
+    let div_ceil = |a: i64, b: i64| if a >= 0 { (a + b - 1) / b } else { a / b };
+    for _ in 0..outer.max(1) {
+        let mut lo = 0i64;
+        let mut hi = inner;
+        for s in 0..nsd {
+            let coef = c.coefs[s][last];
+            let v = sidx[s];
+            let dim = c.src_dims[s] as i64;
+            if coef == 0 {
+                if v < 0 || v >= dim {
+                    hi = 0;
+                    break;
+                }
+            } else if coef > 0 {
+                lo = lo.max(div_ceil(-v, coef));
+                hi = hi.min(div_ceil(dim - v, coef));
+            } else {
+                let nc = -coef;
+                hi = hi.min(v / nc + 1);
+                lo = lo.max(div_ceil(v - dim + 1, nc));
+            }
+        }
+        let lo = lo.clamp(0, inner);
+        let hi = hi.clamp(lo, inner);
+        let run = CopyRun {
+            d_off,
+            s_off: s_base + lo * prog.s_step,
+            pre: lo as u32,
+            len: (hi - lo) as u32,
+            post: (inner - hi) as u32,
+        };
+        // Merge with the previous run when both are unpadded and
+        // contiguous in source and destination.
+        let merged = match prog.runs.last_mut() {
+            Some(prev)
+                if prog.s_step == 1
+                    && prog.d_step == 1
+                    && prev.pre == 0
+                    && prev.post == 0
+                    && run.pre == 0
+                    && run.post == 0
+                    && prev.d_off + prev.len as i64 == run.d_off
+                    && prev.s_off + prev.len as i64 == run.s_off =>
+            {
+                prev.len += run.len;
+                true
+            }
+            _ => false,
+        };
+        if !merged {
+            prog.runs.push(run);
+        }
+        let mut d = last;
+        while d > 0 {
+            d -= 1;
+            ctr[d] += 1;
+            d_off += c.dest_strides[d] as i64;
+            s_base += c.flat_stride[d];
+            for s in 0..nsd {
+                sidx[s] += c.coefs[s][d];
+            }
+            if ctr[d] < c.extents[d] {
+                break;
+            }
+            ctr[d] = 0;
+            d_off -= (c.dest_strides[d] * c.extents[d]) as i64;
+            s_base -= c.flat_stride[d] * c.extents[d] as i64;
+            for s in 0..nsd {
+                sidx[s] -= c.coefs[s][d] * c.extents[d] as i64;
+            }
+        }
+    }
+    prog
+}
+
+/// A compiled gather/scatter.
+#[derive(Debug, Clone)]
+pub(crate) struct CGather {
+    pub dest: usize,
+    pub src: usize,
+    pub table: std::sync::Arc<Vec<i64>>,
+    pub scatter: bool,
+}
+
+/// A compiled extern-kernel call.
+#[derive(Clone)]
+pub(crate) struct CExtern {
+    pub op: String,
+    pub f: ExternFn,
+    pub attrs: std::collections::BTreeMap<String, f64>,
+    pub bufs: Vec<usize>,
+}
+
+impl std::fmt::Debug for CExtern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CExtern")
+            .field("op", &self.op)
+            .field("bufs", &self.bufs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An executable kernel.
+#[derive(Debug, Clone)]
+pub(crate) enum Kernel {
+    Loop {
+        slot: usize,
+        extent: usize,
+        body: Vec<Kernel>,
+    },
+    Inner(InnerLoop),
+    Assign(CAssign),
+    Gemm(CGemm),
+    Copy(CCopy),
+    Gather(CGather),
+    Extern(CExtern),
+}
+
+/// One buffer used by a group.
+#[derive(Debug, Clone)]
+pub(crate) struct BufBinding {
+    pub storage: usize,
+    pub per_item: usize,
+    pub batched: bool,
+    pub param_grad: bool,
+}
+
+/// A schedulable compiled group.
+#[derive(Debug, Clone)]
+pub(crate) enum Segment {
+    PerItem(Vec<Kernel>),
+    Batched(BatchedGemm),
+    ExternWhole(CExtern),
+}
+
+/// A compiled group: its buffer table plus segments.
+#[derive(Debug, Clone)]
+pub(crate) struct CGroup {
+    pub name: String,
+    pub parallel: bool,
+    pub bufs: Vec<BufBinding>,
+    pub segments: Vec<Segment>,
+}
+
+/// The fully lowered program.
+#[derive(Debug, Clone)]
+pub(crate) struct Plan {
+    pub forward: Vec<CGroup>,
+    pub backward: Vec<CGroup>,
+    pub n_slots: usize,
+}
+
+/// Lowers a compiled network against an allocated store.
+pub(crate) fn lower(
+    net: &CompiledNet,
+    store: &BufferStore,
+    registry: &KernelRegistry,
+    vectorize: bool,
+) -> Result<Plan, RuntimeError> {
+    let mut max_slots = 1;
+    let forward = net
+        .forward
+        .iter()
+        .map(|g| lower_group(g, store, registry, vectorize, &mut max_slots))
+        .collect::<Result<Vec<_>, _>>()?;
+    let backward = net
+        .backward
+        .iter()
+        .map(|g| lower_group(g, store, registry, vectorize, &mut max_slots))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Plan {
+        forward,
+        backward,
+        n_slots: max_slots,
+    })
+}
+
+struct GroupLowerer<'a> {
+    store: &'a BufferStore,
+    registry: &'a KernelRegistry,
+    vectorize: bool,
+    slots: HashMap<String, usize>,
+    /// Extent per slot (for bounds verification).
+    slot_extents: Vec<usize>,
+    bufs: Vec<BufBinding>,
+    buf_index: HashMap<String, usize>,
+}
+
+fn lower_group(
+    group: &Group,
+    store: &BufferStore,
+    registry: &KernelRegistry,
+    vectorize: bool,
+    max_slots: &mut usize,
+) -> Result<CGroup, RuntimeError> {
+    let mut lw = GroupLowerer {
+        store,
+        registry,
+        vectorize,
+        slots: HashMap::new(),
+        slot_extents: Vec::new(),
+        bufs: Vec::new(),
+        buf_index: HashMap::new(),
+    };
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut current: Vec<Kernel> = Vec::new();
+    let parallel = group_is_parallel(group);
+
+    for stmt in &group.stmts {
+        // Whole-batch hoists first.
+        if let Stmt::Gemm(g) = stmt {
+            if let Some(b) = lw.try_batch_gemm(g)? {
+                if !current.is_empty() {
+                    segments.push(Segment::PerItem(std::mem::take(&mut current)));
+                }
+                segments.push(Segment::Batched(b));
+                continue;
+            }
+        }
+        if let Stmt::Extern(e) = stmt {
+            let (f, whole) = registry.get(&e.op)?;
+            if whole {
+                let ce = lw.lower_extern(e, f.clone(), true)?;
+                if !current.is_empty() {
+                    segments.push(Segment::PerItem(std::mem::take(&mut current)));
+                }
+                segments.push(Segment::ExternWhole(ce));
+                continue;
+            }
+        }
+        current.push(lw.lower_stmt(stmt)?);
+    }
+    if !current.is_empty() {
+        segments.push(Segment::PerItem(current));
+    }
+    *max_slots = (*max_slots).max(lw.slot_extents.len());
+    Ok(CGroup {
+        name: group.name.clone(),
+        parallel,
+        bufs: lw.bufs,
+        segments,
+    })
+}
+
+fn group_is_parallel(group: &Group) -> bool {
+    fn any_parallel(s: &Stmt) -> bool {
+        let mut found = false;
+        s.visit(&mut |st| {
+            if let Stmt::For(l) = st {
+                found |= l.annot.parallel;
+            }
+        });
+        found
+    }
+    group.stmts.iter().any(any_parallel)
+}
+
+impl GroupLowerer<'_> {
+    fn slot(&mut self, var: &str, extent: usize) -> usize {
+        if let Some(&s) = self.slots.get(var) {
+            self.slot_extents[s] = extent;
+            return s;
+        }
+        let s = self.slot_extents.len();
+        self.slots.insert(var.to_string(), s);
+        self.slot_extents.push(extent);
+        s
+    }
+
+    fn buf(&mut self, name: &str) -> Result<usize, RuntimeError> {
+        if let Some(&i) = self.buf_index.get(name) {
+            return Ok(i);
+        }
+        let info = self.store.require(name)?;
+        let binding = BufBinding {
+            storage: info.storage,
+            per_item: info.per_item,
+            batched: info.batched,
+            param_grad: matches!(info.kind, latte_ir::BufferKind::ParamGrad),
+        };
+        self.bufs.push(binding);
+        let i = self.bufs.len() - 1;
+        self.buf_index.insert(name.to_string(), i);
+        Ok(i)
+    }
+
+    fn cidx(&mut self, e: &IndexExpr) -> Result<CIdx, RuntimeError> {
+        let mut terms = Vec::new();
+        for (var, coef) in e.terms() {
+            let slot = self.slots.get(var).copied().ok_or_else(|| {
+                RuntimeError::Malformed {
+                    detail: format!("index uses unbound variable `{var}`"),
+                }
+            })?;
+            terms.push((slot, coef));
+        }
+        Ok(CIdx {
+            base: e.offset(),
+            terms,
+        })
+    }
+
+    /// Compiles a buffer reference, flattening multi-dim indices through
+    /// the buffer's strides and statically checking bounds.
+    fn cref(&mut self, r: &BufRef) -> Result<CRef, RuntimeError> {
+        let buf = self.buf(&r.buffer)?;
+        let info = self.store.require(&r.buffer)?;
+        if r.indices.len() != info.shape.rank() {
+            return Err(RuntimeError::Malformed {
+                detail: format!(
+                    "reference {r} has {} indices but buffer has rank {}",
+                    r.indices.len(),
+                    info.shape.rank()
+                ),
+            });
+        }
+        let mut flat = CIdx::constant(0);
+        for (idx, &stride) in r.indices.iter().zip(info.shape.strides()) {
+            let c = self.cidx(idx)?;
+            flat.base += c.base * stride as i64;
+            for (slot, coef) in c.terms {
+                let existing = flat.terms.iter_mut().find(|(s, _)| *s == slot);
+                match existing {
+                    Some((_, e)) => *e += coef * stride as i64,
+                    None => flat.terms.push((slot, coef * stride as i64)),
+                }
+            }
+        }
+        let (lo, hi) = flat.range(&self.slot_extents);
+        if lo < 0 || hi >= info.per_item as i64 {
+            return Err(RuntimeError::Malformed {
+                detail: format!(
+                    "reference {r} ranges over [{lo}, {hi}] outside buffer of {} elements",
+                    info.per_item
+                ),
+            });
+        }
+        Ok(CRef { buf, idx: flat })
+    }
+
+    fn cexpr(&mut self, e: &Expr, loads: &mut Vec<CRef>) -> Result<CExpr, RuntimeError> {
+        Ok(match e {
+            Expr::Const(c) => CExpr::Const(*c),
+            Expr::Load(r) => {
+                loads.push(self.cref(r)?);
+                CExpr::Load(loads.len() - 1)
+            }
+            Expr::Unary(op, x) => CExpr::Un(*op, Box::new(self.cexpr(x, loads)?)),
+            Expr::Binary(op, a, b) => CExpr::Bin(
+                *op,
+                Box::new(self.cexpr(a, loads)?),
+                Box::new(self.cexpr(b, loads)?),
+            ),
+        })
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<Kernel, RuntimeError> {
+        match stmt {
+            Stmt::For(l) => {
+                let slot = self.slot(&l.var, l.extent);
+                // Innermost single-assign loops get the specialized path.
+                if l.body.len() == 1 {
+                    if let Stmt::Assign(a) = &l.body[0] {
+                        let mut loads = Vec::new();
+                        let expr = self.cexpr(&a.value, &mut loads)?;
+                        let dest = self.cref(&a.dest)?;
+                        let assign = CAssign {
+                            dest,
+                            op: a.op,
+                            expr,
+                            loads,
+                        };
+                        let fast = self.classify_inner(&assign, slot);
+                        return Ok(Kernel::Inner(InnerLoop {
+                            slot,
+                            extent: l.extent,
+                            assign,
+                            fast,
+                        }));
+                    }
+                }
+                let body = l
+                    .body
+                    .iter()
+                    .map(|s| self.lower_stmt(s))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Kernel::Loop {
+                    slot,
+                    extent: l.extent,
+                    body,
+                })
+            }
+            Stmt::Assign(a) => {
+                let mut loads = Vec::new();
+                let expr = self.cexpr(&a.value, &mut loads)?;
+                let dest = self.cref(&a.dest)?;
+                Ok(Kernel::Assign(CAssign {
+                    dest,
+                    op: a.op,
+                    expr,
+                    loads,
+                }))
+            }
+            Stmt::Gemm(g) => Ok(Kernel::Gemm(self.lower_gemm(g)?)),
+            Stmt::Copy(c) => Ok(Kernel::Copy(self.lower_copy(c)?)),
+            Stmt::Gather(g) => Ok(Kernel::Gather(CGather {
+                dest: self.buf(&g.dest)?,
+                src: self.buf(&g.src)?,
+                table: g.table.clone(),
+                scatter: g.scatter,
+            })),
+            Stmt::Extern(e) => {
+                let (f, whole) = self.registry.get(&e.op)?;
+                if whole {
+                    return Err(RuntimeError::Malformed {
+                        detail: format!("whole-batch extern `{}` nested inside a loop", e.op),
+                    });
+                }
+                let f = f.clone();
+                Ok(Kernel::Extern(self.lower_extern(e, f, false)?))
+            }
+            Stmt::Barrier => Ok(Kernel::Loop {
+                slot: 0,
+                extent: 0,
+                body: Vec::new(),
+            }),
+        }
+    }
+
+    fn classify_inner(&self, a: &CAssign, slot: usize) -> FastKind {
+        if !self.vectorize {
+            return FastKind::Generic;
+        }
+        let dstep = a.dest.idx.coef(slot);
+        match (&a.expr, a.op) {
+            // dest += x[i] * y[i], dest invariant in i.
+            (CExpr::Bin(BinOp::Mul, l, r), AssignOp::Add) if dstep == 0 => {
+                if let (CExpr::Load(i), CExpr::Load(j)) = (l.as_ref(), r.as_ref()) {
+                    if a.loads[*i].idx.coef(slot) == 1 && a.loads[*j].idx.coef(slot) == 1 {
+                        return FastKind::Dot;
+                    }
+                }
+                FastKind::Generic
+            }
+            // dest max= src[i]: max-pooling reduction.
+            (CExpr::Load(i), AssignOp::Max) if dstep == 0 => {
+                if a.loads[*i].idx.coef(slot) == 1 {
+                    FastKind::MaxReduce
+                } else {
+                    FastKind::Generic
+                }
+            }
+            // dest[i] op= f(...) where every load steps by 0 or 1.
+            _ if dstep == 1 => {
+                let ok = a
+                    .loads
+                    .iter()
+                    .all(|l| matches!(l.idx.coef(slot), 0 | 1));
+                if ok {
+                    FastKind::UnitMap
+                } else {
+                    FastKind::Generic
+                }
+            }
+            _ => FastKind::Generic,
+        }
+    }
+
+    fn lower_gemm(&mut self, g: &GemmStmt) -> Result<CGemm, RuntimeError> {
+        let a = CRef {
+            buf: self.buf(&g.a)?,
+            idx: self.cidx(&g.a_off)?,
+        };
+        let b = CRef {
+            buf: self.buf(&g.b)?,
+            idx: self.cidx(&g.b_off)?,
+        };
+        let c = CRef {
+            buf: self.buf(&g.c)?,
+            idx: self.cidx(&g.c_off)?,
+        };
+        // Static bounds: offset range + operand extent within the buffer.
+        for (r, need, name) in [
+            (&a, if g.ta { g.k * g.m } else { g.m * g.k }, &g.a),
+            (&b, if g.tb { g.n * g.k } else { g.k * g.n }, &g.b),
+            (&c, g.m * g.n, &g.c),
+        ] {
+            let (lo, hi) = r.idx.range(&self.slot_extents);
+            let len = self.store.require(name)?.per_item as i64;
+            if lo < 0 || hi + need as i64 > len {
+                return Err(RuntimeError::Malformed {
+                    detail: format!(
+                        "gemm operand `{name}` spans [{lo}, {}] outside {len} elements",
+                        hi + need as i64
+                    ),
+                });
+            }
+        }
+        Ok(CGemm {
+            ta: g.ta,
+            tb: g.tb,
+            m: g.m,
+            n: g.n,
+            k: g.k,
+            a,
+            b,
+            c,
+        })
+    }
+
+    /// Recognizes the three whole-batch GEMM forms (fully-connected
+    /// forward, backward-data, backward-weights) and hoists them out of
+    /// the per-item loop.
+    fn try_batch_gemm(&mut self, g: &GemmStmt) -> Result<Option<BatchedGemm>, RuntimeError> {
+        if !(g.a_off.is_constant() && g.b_off.is_constant() && g.c_off.is_constant()) {
+            return Ok(None);
+        }
+        let (a_base, b_base, c_base) = (g.a_off.offset(), g.b_off.offset(), g.c_off.offset());
+        if a_base < 0 || b_base < 0 || c_base < 0 {
+            return Ok(None);
+        }
+        let ai = self.store.require(&g.a)?.clone();
+        let bi = self.store.require(&g.b)?.clone();
+        let ci = self.store.require(&g.c)?.clone();
+        let (a, b, c) = (ai.storage, bi.storage, ci.storage);
+        let batch = self.store.batch();
+
+        // FC forward: per-item C(1xN) += A(1xK)·op(B). Batched:
+        // C(batch x N) += A(batch x K)·op(B).
+        if g.m == 1
+            && ai.batched
+            && ci.batched
+            && !bi.batched
+            && ai.per_item == g.k
+            && ci.per_item == g.n
+            && a_base == 0
+            && c_base == 0
+            && !g.ta
+        {
+            return Ok(Some(BatchedGemm {
+                ta: false,
+                tb: g.tb,
+                m: batch,
+                n: g.n,
+                k: g.k,
+                a,
+                a_base: 0,
+                b,
+                b_base: b_base as usize,
+                c,
+                c_base: 0,
+            }));
+        }
+        // FC backward-data: per-item C(Mx1) += op(A)(MxK)·B(Kx1).
+        // Batched: C'(batch x M) += B'(batch x K) · op(A)ᵀ.
+        if g.n == 1
+            && bi.batched
+            && ci.batched
+            && !ai.batched
+            && bi.per_item == g.k
+            && ci.per_item == g.m
+            && b_base == 0
+            && c_base == 0
+        {
+            return Ok(Some(BatchedGemm {
+                ta: false,
+                // stored A is (m x k) when !ta → logical Aᵀ needs transpose;
+                // stored A is (k x m) when ta → usable directly.
+                tb: !g.ta,
+                m: batch,
+                n: g.m,
+                k: g.k,
+                a: b,
+                a_base: 0,
+                b: a,
+                b_base: a_base as usize,
+                c,
+                c_base: 0,
+            }));
+        }
+        // Weight gradient (outer product): per-item C(MxN) += A(Mx1)·B(1xN)
+        // with A, B batched and C shared. Batched:
+        // C += A'(batch x M)ᵀ · B'(batch x N).
+        if g.k == 1
+            && ai.batched
+            && bi.batched
+            && !ci.batched
+            && ai.per_item == g.m
+            && bi.per_item == g.n
+            && a_base == 0
+            && b_base == 0
+            && c_base == 0
+        {
+            return Ok(Some(BatchedGemm {
+                ta: true,
+                tb: false,
+                m: g.m,
+                n: g.n,
+                k: batch,
+                a,
+                a_base: 0,
+                b,
+                b_base: 0,
+                c,
+                c_base: 0,
+            }));
+        }
+        Ok(None)
+    }
+
+    fn lower_copy(&mut self, c: &CopyStmt) -> Result<CCopy, RuntimeError> {
+        let dest = self.buf(&c.dest)?;
+        let src = self.buf(&c.src)?;
+        let dinfo = self.store.require(&c.dest)?;
+        let sinfo = self.store.require(&c.src)?;
+        let dest_shape = latte_tensor::Shape::new(c.dest_shape.clone());
+        if dest_shape.len() != dinfo.per_item {
+            return Err(RuntimeError::Malformed {
+                detail: format!(
+                    "copy dest shape {dest_shape} does not match buffer `{}`",
+                    c.dest
+                ),
+            });
+        }
+        let src_shape = latte_tensor::Shape::new(c.src_shape.clone());
+        if src_shape.len() != sinfo.per_item {
+            return Err(RuntimeError::Malformed {
+                detail: format!(
+                    "copy src shape {src_shape} does not match buffer `{}`",
+                    c.src
+                ),
+            });
+        }
+        let ndd = c.extents.len();
+        let nsd = c.src_shape.len();
+        // Decompose each source map into coefficients over global dest
+        // dims (variables d0..d{ndd-1}); any other variable is malformed.
+        let mut coefs = vec![vec![0i64; ndd]; nsd];
+        let mut src_base = vec![0i64; nsd];
+        for (s, m) in c.map.iter().enumerate() {
+            src_base[s] = m.offset();
+            for (var, coef) in m.terms() {
+                let d = var
+                    .strip_prefix('d')
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&d| d < ndd)
+                    .ok_or_else(|| RuntimeError::Malformed {
+                        detail: format!("copy map uses unexpected variable `{var}`"),
+                    })?;
+                coefs[s][d] = coef;
+            }
+        }
+        let offsets = c
+            .offsets
+            .iter()
+            .map(|o| self.cidx(o))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Static bound: offset + extent within dest shape per dim.
+        for d in 0..ndd {
+            let (lo, hi) = offsets[d].range(&self.slot_extents);
+            if lo < 0 || hi + c.extents[d] as i64 > c.dest_shape[d] as i64 {
+                return Err(RuntimeError::Malformed {
+                    detail: format!(
+                        "copy dim {d} covers [{lo}, {}] outside extent {}",
+                        hi + c.extents[d] as i64,
+                        c.dest_shape[d]
+                    ),
+                });
+            }
+        }
+        // Trim unit iteration dimensions with zero offset: they contribute
+        // nothing to any index and only add odometer overhead (pooling
+        // windows routinely end in a channel extent of 1).
+        let mut extents = c.extents.clone();
+        let mut dest_strides = dest_shape.strides().to_vec();
+        let keep: Vec<usize> = (0..ndd)
+            .filter(|&d| {
+                !(extents[d] == 1 && offsets[d].terms.is_empty() && offsets[d].base == 0)
+            })
+            .collect();
+        let keep = if keep.is_empty() { vec![ndd - 1] } else { keep };
+        let mut offsets = offsets;
+        if keep.len() != ndd {
+            extents = keep.iter().map(|&d| extents[d]).collect();
+            dest_strides = keep.iter().map(|&d| dest_strides[d]).collect();
+            offsets = keep.iter().map(|&d| offsets[d].clone()).collect();
+            for row in &mut coefs {
+                *row = keep.iter().map(|&d| row[d]).collect();
+            }
+        }
+        let ndd = extents.len();
+
+        // Static padding-free proof: bound every source index over the
+        // whole (offset range) x (extent) iteration space.
+        let mut never_oob = true;
+        for s in 0..nsd {
+            let mut lo = src_base[s];
+            let mut hi = src_base[s];
+            for d in 0..ndd {
+                let (off_lo, off_hi) = offsets[d].range(&self.slot_extents);
+                let g_lo = off_lo;
+                let g_hi = off_hi + extents[d] as i64 - 1;
+                let coef = coefs[s][d];
+                if coef >= 0 {
+                    lo += coef * g_lo;
+                    hi += coef * g_hi;
+                } else {
+                    lo += coef * g_hi;
+                    hi += coef * g_lo;
+                }
+            }
+            if lo < 0 || hi >= c.src_shape[s] as i64 {
+                never_oob = false;
+            }
+        }
+        let flat_stride: Vec<i64> = (0..ndd)
+            .map(|d| {
+                (0..nsd)
+                    .map(|s| coefs[s][d] * src_shape.strides()[s] as i64)
+                    .sum()
+            })
+            .collect();
+        let src_flat_base: i64 = (0..nsd)
+            .map(|s| src_base[s] * src_shape.strides()[s] as i64)
+            .sum();
+        let mut copy = CCopy {
+            dest,
+            dest_strides,
+            extents,
+            offsets,
+            src,
+            src_dims: c.src_shape.clone(),
+            src_strides: src_shape.strides().to_vec(),
+            coefs,
+            src_base,
+            scatter: c.scatter,
+            never_oob,
+            flat_stride,
+            src_flat_base,
+            programs: None,
+        };
+        copy.programs = self.build_programs(&copy);
+        Ok(copy)
+    }
+
+    /// Precompiles a copy's transfer programs for every combination of
+    /// its offset variables, when the combination count is manageable.
+    fn build_programs(&self, c: &CCopy) -> Option<ProgramTable> {
+        let mut slots: Vec<usize> = Vec::new();
+        for o in &c.offsets {
+            for &(s, _) in &o.terms {
+                if !slots.contains(&s) {
+                    slots.push(s);
+                }
+            }
+        }
+        slots.sort_unstable();
+        let extents: Vec<usize> = slots
+            .iter()
+            .map(|&s| self.slot_extents.get(s).copied().unwrap_or(1).max(1))
+            .collect();
+        let combos: usize = extents.iter().product();
+        let dest_total: usize = c.extents.iter().product();
+        if combos > 256 || combos.saturating_mul(dest_total) > 16_000_000 {
+            return None;
+        }
+        let n_slots = self.slot_extents.len().max(1);
+        let mut programs = Vec::with_capacity(combos);
+        let mut env = vec![0i64; n_slots];
+        for idx in 0..combos {
+            // Mixed-radix decode, major first.
+            let mut rem = idx;
+            for (pos, (&slot, &ext)) in slots.iter().zip(&extents).enumerate().rev() {
+                let _ = pos;
+                env[slot] = (rem % ext) as i64;
+                rem /= ext;
+            }
+            let offsets: Vec<i64> = c.offsets.iter().map(|o| o.eval(&env)).collect();
+            programs.push(std::sync::Arc::new(copy_runs(c, &offsets)));
+        }
+        Some(ProgramTable {
+            slots,
+            extents,
+            programs,
+        })
+    }
+
+    fn lower_extern(
+        &mut self,
+        e: &ExternOp,
+        f: ExternFn,
+        whole_batch: bool,
+    ) -> Result<CExtern, RuntimeError> {
+        let mut bufs = Vec::with_capacity(e.buffers.len());
+        let mut storages = Vec::new();
+        for name in &e.buffers {
+            let i = self.buf(name)?;
+            let st = self.bufs[i].storage;
+            if storages.contains(&st) {
+                return Err(RuntimeError::Malformed {
+                    detail: format!(
+                        "extern `{}` receives aliasing buffers (storage {st} twice)",
+                        e.op
+                    ),
+                });
+            }
+            storages.push(st);
+            bufs.push(i);
+        }
+        let _ = whole_batch;
+        Ok(CExtern {
+            op: e.op.clone(),
+            f,
+            attrs: e.attrs.clone(),
+            bufs,
+        })
+    }
+}

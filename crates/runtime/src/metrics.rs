@@ -1,0 +1,76 @@
+//! Evaluation helpers: classification over a trained executor.
+
+use crate::error::RuntimeError;
+use crate::exec::Executor;
+
+/// Classifies `items` in batches through the executor and returns top-1
+/// accuracy. `input` is the data ensemble name, `output` the prediction
+/// buffer (e.g. `"fc8.value"`). When the network contains a loss layer
+/// whose label ensemble is named `label`, dummy labels are fed so the
+/// forward pass stays well defined; predictions do not depend on them.
+///
+/// Items that do not fill a final batch are skipped (as in Caffe's test
+/// phase).
+///
+/// # Errors
+///
+/// Fails for unknown ensembles or buffers.
+pub fn top1_accuracy(
+    exec: &mut Executor,
+    input: &str,
+    output: &str,
+    items: &[(Vec<f32>, f32)],
+) -> Result<f32, RuntimeError> {
+    let batch = exec.batch();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for chunk in items.chunks(batch) {
+        if chunk.len() < batch {
+            break;
+        }
+        let mut inputs = Vec::with_capacity(batch * chunk[0].0.len());
+        for (x, _) in chunk {
+            inputs.extend_from_slice(x);
+        }
+        exec.set_input(input, &inputs)?;
+        let _ = exec.set_input("label", &vec![0.0; batch]);
+        exec.forward();
+        let out = exec.read_buffer(output)?;
+        let classes = out.len() / batch;
+        for (i, (_, label)) in chunk.iter().enumerate() {
+            let row = &out[i * classes..(i + 1) * classes];
+            let pred = argmax(row);
+            if pred == *label as usize {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    Ok(correct as f32 / total.max(1) as f32)
+}
+
+/// Index of the largest element (first on ties; 0 for empty input).
+pub fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic_and_ties() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[0.5, 0.5]), 0, "first wins ties");
+        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+    }
+}

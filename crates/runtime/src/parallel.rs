@@ -1,0 +1,318 @@
+//! Intra-node data-parallel training with synchronized or *lossy*
+//! gradient accumulation (the paper's Section 3.1 / Project Adam mode and
+//! the Figure-20 experiment).
+//!
+//! Each worker owns a full network replica processing a shard of the
+//! global batch. After backward, worker gradients are combined into the
+//! master copy either
+//!
+//! * **synchronized** — an exact sequential sum ("a normal synchronized
+//!   reduction incurring a small performance overhead"), or
+//! * **lossy** — every worker thread races read-modify-write updates into
+//!   the shared master gradients through relaxed atomics, so concurrent
+//!   updates can be lost, exactly the unsynchronized in-place updates the
+//!   paper enables for `∇`-named fields.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use latte_core::CompiledNet;
+
+use crate::data::Batch;
+use crate::error::RuntimeError;
+use crate::exec::Executor;
+
+/// How worker gradients combine into the master copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GradSync {
+    /// Exact sequential summation.
+    Synchronized,
+    /// Racy relaxed-atomic accumulation with possible lost updates.
+    Lossy,
+}
+
+/// Configuration of a [`DataParallelTrainer`].
+#[derive(Debug, Clone, Copy)]
+pub struct DataParallelConfig {
+    /// Number of worker replicas.
+    pub workers: usize,
+    /// Gradient-combination mode.
+    pub sync: GradSync,
+    /// Learning rate of the built-in SGD update on the master weights.
+    pub lr: f32,
+    /// Momentum of the built-in SGD update.
+    pub momentum: f32,
+}
+
+/// Trains replicas of one network over shards of a global batch.
+pub struct DataParallelTrainer {
+    cfg: DataParallelConfig,
+    workers: Vec<Executor>,
+    /// Master parameter values, one vector per parameter binding.
+    master: Vec<Vec<f32>>,
+    velocity: Vec<Vec<f32>>,
+    param_values: Vec<String>,
+    param_grads: Vec<String>,
+    lr_mults: Vec<f32>,
+}
+
+impl std::fmt::Debug for DataParallelTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataParallelTrainer")
+            .field("workers", &self.workers.len())
+            .field("sync", &self.cfg.sync)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DataParallelTrainer {
+    /// Builds `cfg.workers` replicas; `build` must return freshly
+    /// compiled copies of the same network (the per-worker batch is the
+    /// compiled batch size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor-construction failures.
+    pub fn new(
+        build: impl Fn() -> CompiledNet,
+        cfg: DataParallelConfig,
+    ) -> Result<Self, RuntimeError> {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        let workers: Vec<Executor> = (0..cfg.workers)
+            .map(|_| Executor::new(build()))
+            .collect::<Result<_, _>>()?;
+        let bindings = workers[0].params().to_vec();
+        let mut master = Vec::with_capacity(bindings.len());
+        let mut velocity = Vec::with_capacity(bindings.len());
+        let mut param_values = Vec::new();
+        let mut param_grads = Vec::new();
+        let mut lr_mults = Vec::new();
+        for b in &bindings {
+            let v = workers[0].read_buffer(&b.value)?;
+            velocity.push(vec![0.0; v.len()]);
+            master.push(v);
+            param_values.push(b.value.clone());
+            param_grads.push(b.grad.clone());
+            lr_mults.push(b.lr_mult);
+        }
+        Ok(DataParallelTrainer {
+            cfg,
+            workers,
+            master,
+            velocity,
+            param_values,
+            param_grads,
+            lr_mults,
+        })
+    }
+
+    /// The per-worker batch size.
+    pub fn worker_batch(&self) -> usize {
+        self.workers[0].batch()
+    }
+
+    /// The number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs one training step: broadcast master weights, forward/backward
+    /// every worker on its shard (in parallel threads), combine gradients
+    /// per the configured mode, and apply the SGD update to the master.
+    /// Returns the mean worker loss.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a shard's inputs do not match the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards.len()` differs from the worker count.
+    pub fn step(&mut self, shards: &[Batch]) -> Result<f32, RuntimeError> {
+        assert_eq!(shards.len(), self.workers.len(), "one shard per worker");
+        // Broadcast.
+        for w in &mut self.workers {
+            for (name, values) in self.param_values.iter().zip(&self.master) {
+                w.write_buffer(name, values)?;
+            }
+        }
+        // Parallel forward/backward.
+        let mut losses = vec![0.0f32; self.workers.len()];
+        let mut feed_err = None;
+        crossbeam::scope(|scope| {
+            for ((w, shard), loss) in self
+                .workers
+                .iter_mut()
+                .zip(shards)
+                .zip(losses.iter_mut())
+            {
+                scope.spawn(move |_| {
+                    for (ensemble, values) in shard {
+                        if let Err(e) = w.set_input(ensemble, values) {
+                            *loss = f32::NAN;
+                            return Some(e);
+                        }
+                    }
+                    w.forward();
+                    *loss = w.loss();
+                    w.backward();
+                    None
+                });
+            }
+        })
+        .expect("worker scope panicked");
+        if losses.iter().any(|l| l.is_nan()) {
+            feed_err = Some(RuntimeError::Malformed {
+                detail: "worker failed to feed inputs".to_string(),
+            });
+        }
+        if let Some(e) = feed_err {
+            return Err(e);
+        }
+
+        // Gradient combination.
+        let n_workers = self.workers.len() as f32;
+        let mut combined: Vec<Vec<f32>> = self
+            .master
+            .iter()
+            .map(|m| vec![0.0; m.len()])
+            .collect();
+        match self.cfg.sync {
+            GradSync::Synchronized => {
+                for w in &self.workers {
+                    for (name, acc) in self.param_grads.iter().zip(combined.iter_mut()) {
+                        let g = w.read_buffer(name)?;
+                        for (a, x) in acc.iter_mut().zip(&g) {
+                            *a += x;
+                        }
+                    }
+                }
+            }
+            GradSync::Lossy => {
+                // Every worker thread races relaxed read-modify-write
+                // updates into the shared accumulators.
+                let worker_grads: Vec<Vec<Vec<f32>>> = self
+                    .workers
+                    .iter()
+                    .map(|w| {
+                        self.param_grads
+                            .iter()
+                            .map(|name| w.read_buffer(name))
+                            .collect::<Result<_, _>>()
+                    })
+                    .collect::<Result<_, _>>()?;
+                let views: Vec<&[AtomicU32]> =
+                    combined.iter_mut().map(|c| atomic_view(c)).collect();
+                crossbeam::scope(|scope| {
+                    for grads in &worker_grads {
+                        let views = &views;
+                        scope.spawn(move |_| {
+                            for (g, view) in grads.iter().zip(views.iter()) {
+                                for (x, cell) in g.iter().zip(view.iter()) {
+                                    // Non-atomic read-modify-write through
+                                    // atomic cells: lost updates possible.
+                                    let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+                                    cell.store((cur + x).to_bits(), Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                })
+                .expect("lossy accumulation scope panicked");
+            }
+        }
+
+        // SGD with momentum on the master weights, using the mean worker
+        // gradient (each worker's loss is already batch-normalized).
+        let lr = self.cfg.lr;
+        let mom = self.cfg.momentum;
+        for (((m, g), vel), &lr_mult) in self
+            .master
+            .iter_mut()
+            .zip(&combined)
+            .zip(self.velocity.iter_mut())
+            .zip(&self.lr_mults)
+        {
+            for ((w, &grad), v) in m.iter_mut().zip(g).zip(vel.iter_mut()) {
+                *v = mom * *v - lr * lr_mult * grad / n_workers;
+                *w += *v;
+            }
+        }
+        Ok(losses.iter().sum::<f32>() / n_workers)
+    }
+
+    /// Classifies items with worker 0 (broadcasting master weights
+    /// first), returning top-1 accuracy. `output` is the prediction
+    /// buffer (e.g. `"ip2.value"`).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown buffers/ensembles.
+    pub fn accuracy(
+        &mut self,
+        input_ensemble: &str,
+        output: &str,
+        items: &[(Vec<f32>, f32)],
+    ) -> Result<f32, RuntimeError> {
+        for (name, values) in self.param_values.iter().zip(&self.master) {
+            self.workers[0].write_buffer(name, values)?;
+        }
+        let batch = self.workers[0].batch();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for chunk in items.chunks(batch) {
+            if chunk.len() < batch {
+                break;
+            }
+            let mut inputs = Vec::with_capacity(batch * chunk[0].0.len());
+            for (x, _) in chunk {
+                inputs.extend_from_slice(x);
+            }
+            self.workers[0].set_input(input_ensemble, &inputs)?;
+            // A label feed keeps loss ensembles well-defined but does not
+            // affect the prediction buffer.
+            let _ = self.workers[0].set_input("label", &vec![0.0; batch]);
+            self.workers[0].forward();
+            let out = self.workers[0].read_buffer(output)?;
+            let classes = out.len() / batch;
+            for (i, (_, label)) in chunk.iter().enumerate() {
+                let row = &out[i * classes..(i + 1) * classes];
+                let pred = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(j, _)| j)
+                    .unwrap_or(0);
+                if pred == *label as usize {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        Ok(correct as f32 / total.max(1) as f32)
+    }
+}
+
+/// Views a float slice as atomic cells. All access during the view's use
+/// must go through the atomics (enforced by the exclusive borrow).
+fn atomic_view(data: &mut [f32]) -> &[AtomicU32] {
+    // SAFETY: f32 and AtomicU32 have identical size and alignment, and the
+    // exclusive borrow guarantees no non-atomic access aliases the view.
+    unsafe { &*(data as *mut [f32] as *const [AtomicU32]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_view_roundtrips_bits() {
+        let mut data = vec![1.5f32, -2.25];
+        {
+            let view = atomic_view(&mut data);
+            let v = f32::from_bits(view[0].load(Ordering::Relaxed));
+            assert_eq!(v, 1.5);
+            view[1].store(4.0f32.to_bits(), Ordering::Relaxed);
+        }
+        assert_eq!(data[1], 4.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Solvers: the training-loop coordinators of the paper's Section 2.5.
+//!
+//! A [`Solver`] owns the update rule; [`SolverParams`] carries the
+//! learning-rate and momentum policies (the paper's `LRPolicy.Inv`,
+//! `MomPolicy.Fixed`, …) plus weight decay. [`solve`] drives the
+//! forward/backward/update loop over a data source, exactly like the
+//! paper's `solve(sgd, net)`.
+
+use crate::data::BatchSource;
+use crate::error::RuntimeError;
+use crate::exec::Executor;
+
+/// Learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrPolicy {
+    /// Constant rate.
+    Fixed {
+        /// The rate.
+        lr: f32,
+    },
+    /// `lr = base * (1 + gamma * iter)^(-power)` (the paper's
+    /// `LRPolicy.Inv(0.01, 0.0001, 0.75)`).
+    Inv {
+        /// Base rate.
+        base: f32,
+        /// Decay factor per iteration.
+        gamma: f32,
+        /// Decay exponent.
+        power: f32,
+    },
+    /// `lr = base * gamma^(iter / step)`.
+    Step {
+        /// Base rate.
+        base: f32,
+        /// Multiplier applied every `step` iterations.
+        gamma: f32,
+        /// Iterations per step.
+        step: usize,
+    },
+}
+
+impl LrPolicy {
+    /// The learning rate at a given iteration.
+    pub fn at(&self, iter: usize) -> f32 {
+        match *self {
+            LrPolicy::Fixed { lr } => lr,
+            LrPolicy::Inv { base, gamma, power } => {
+                base * (1.0 + gamma * iter as f32).powf(-power)
+            }
+            LrPolicy::Step { base, gamma, step } => base * gamma.powi((iter / step) as i32),
+        }
+    }
+}
+
+/// Momentum schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MomPolicy {
+    /// No momentum.
+    None,
+    /// Constant momentum (the paper's `MomPolicy.Fixed(0.9)`).
+    Fixed {
+        /// The coefficient.
+        mom: f32,
+    },
+}
+
+impl MomPolicy {
+    /// The momentum coefficient at a given iteration.
+    pub fn at(&self, _iter: usize) -> f32 {
+        match *self {
+            MomPolicy::None => 0.0,
+            MomPolicy::Fixed { mom } => mom,
+        }
+    }
+}
+
+/// Hyper-parameters shared by all solvers (the paper's
+/// `SolverParameters`).
+#[derive(Debug, Clone, Copy)]
+pub struct SolverParams {
+    /// Learning-rate policy.
+    pub lr_policy: LrPolicy,
+    /// Momentum policy.
+    pub mom_policy: MomPolicy,
+    /// L2 regularization coefficient (the paper's `regu_coef`).
+    pub regu_coef: f32,
+    /// Training epochs for [`solve`].
+    pub max_epoch: usize,
+}
+
+impl Default for SolverParams {
+    fn default() -> Self {
+        SolverParams {
+            lr_policy: LrPolicy::Fixed { lr: 0.01 },
+            mom_policy: MomPolicy::Fixed { mom: 0.9 },
+            regu_coef: 0.0,
+            max_epoch: 1,
+        }
+    }
+}
+
+/// A parameter-update rule.
+///
+/// Implementations hold per-parameter state (momentum, squared-gradient
+/// accumulators) keyed by parameter order, which is stable for a given
+/// executor.
+pub trait Solver {
+    /// The solver's hyper-parameters.
+    fn params(&self) -> &SolverParams;
+
+    /// Applies one update step to every parameter of the executor, using
+    /// the gradients of the last backward pass.
+    fn step(&mut self, exec: &mut Executor);
+}
+
+fn ensure_state(state: &mut Vec<Vec<f32>>, idx: usize, len: usize) -> &mut Vec<f32> {
+    while state.len() <= idx {
+        state.push(Vec::new());
+    }
+    if state[idx].len() != len {
+        state[idx] = vec![0.0; len];
+    }
+    &mut state[idx]
+}
+
+/// Stochastic gradient descent with momentum and weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    params: SolverParams,
+    iter: usize,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD solver.
+    pub fn new(params: SolverParams) -> Self {
+        Sgd {
+            params,
+            iter: 0,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Solver for Sgd {
+    fn params(&self) -> &SolverParams {
+        &self.params
+    }
+
+    fn step(&mut self, exec: &mut Executor) {
+        let lr = self.params.lr_policy.at(self.iter);
+        let mom = self.params.mom_policy.at(self.iter);
+        let decay = self.params.regu_coef;
+        let velocity = &mut self.velocity;
+        let mut idx = 0;
+        exec.for_each_param_mut(|v, g, lr_mult| {
+            let vel = ensure_state(velocity, idx, v.len());
+            idx += 1;
+            let rate = lr * lr_mult;
+            for ((w, &grad), vel) in v.iter_mut().zip(g).zip(vel.iter_mut()) {
+                let d = grad + decay * *w;
+                *vel = mom * *vel - rate * d;
+                *w += *vel;
+            }
+        });
+        self.iter += 1;
+    }
+}
+
+/// RMSProp (Tieleman & Hinton): per-weight rates from a running average
+/// of squared gradients.
+#[derive(Debug)]
+pub struct RmsProp {
+    params: SolverParams,
+    decay: f32,
+    eps: f32,
+    iter: usize,
+    ms: Vec<Vec<f32>>,
+}
+
+impl RmsProp {
+    /// Creates an RMSProp solver with the given squared-gradient decay.
+    pub fn new(params: SolverParams, decay: f32, eps: f32) -> Self {
+        RmsProp {
+            params,
+            decay,
+            eps,
+            iter: 0,
+            ms: Vec::new(),
+        }
+    }
+}
+
+impl Solver for RmsProp {
+    fn params(&self) -> &SolverParams {
+        &self.params
+    }
+
+    fn step(&mut self, exec: &mut Executor) {
+        let lr = self.params.lr_policy.at(self.iter);
+        let regu = self.params.regu_coef;
+        let (decay, eps) = (self.decay, self.eps);
+        let ms = &mut self.ms;
+        let mut idx = 0;
+        exec.for_each_param_mut(|v, g, lr_mult| {
+            let m = ensure_state(ms, idx, v.len());
+            idx += 1;
+            let rate = lr * lr_mult;
+            for ((w, &grad), m) in v.iter_mut().zip(g).zip(m.iter_mut()) {
+                let d = grad + regu * *w;
+                *m = decay * *m + (1.0 - decay) * d * d;
+                *w -= rate * d / (m.sqrt() + eps);
+            }
+        });
+        self.iter += 1;
+    }
+}
+
+/// AdaGrad (Duchi et al.): per-weight rates from the accumulated squared
+/// gradient (cited by the paper as an example solving method).
+#[derive(Debug)]
+pub struct AdaGrad {
+    params: SolverParams,
+    eps: f32,
+    iter: usize,
+    acc: Vec<Vec<f32>>,
+}
+
+impl AdaGrad {
+    /// Creates an AdaGrad solver.
+    pub fn new(params: SolverParams, eps: f32) -> Self {
+        AdaGrad {
+            params,
+            eps,
+            iter: 0,
+            acc: Vec::new(),
+        }
+    }
+}
+
+impl Solver for AdaGrad {
+    fn params(&self) -> &SolverParams {
+        &self.params
+    }
+
+    fn step(&mut self, exec: &mut Executor) {
+        let lr = self.params.lr_policy.at(self.iter);
+        let regu = self.params.regu_coef;
+        let eps = self.eps;
+        let acc = &mut self.acc;
+        let mut idx = 0;
+        exec.for_each_param_mut(|v, g, lr_mult| {
+            let a = ensure_state(acc, idx, v.len());
+            idx += 1;
+            let rate = lr * lr_mult;
+            for ((w, &grad), a) in v.iter_mut().zip(g).zip(a.iter_mut()) {
+                let d = grad + regu * *w;
+                *a += d * d;
+                *w -= rate * d / (a.sqrt() + eps);
+            }
+        });
+        self.iter += 1;
+    }
+}
+
+/// AdaDelta (Zeiler): parameter updates scaled by the ratio of running
+/// RMS of past updates to running RMS of past gradients — no global
+/// learning rate needed (the `lr_policy` still multiplies as a trust
+/// factor).
+#[derive(Debug)]
+pub struct AdaDelta {
+    params: SolverParams,
+    rho: f32,
+    eps: f32,
+    iter: usize,
+    acc_grad: Vec<Vec<f32>>,
+    acc_update: Vec<Vec<f32>>,
+}
+
+impl AdaDelta {
+    /// Creates an AdaDelta solver with decay `rho`.
+    pub fn new(params: SolverParams, rho: f32, eps: f32) -> Self {
+        AdaDelta {
+            params,
+            rho,
+            eps,
+            iter: 0,
+            acc_grad: Vec::new(),
+            acc_update: Vec::new(),
+        }
+    }
+}
+
+impl Solver for AdaDelta {
+    fn params(&self) -> &SolverParams {
+        &self.params
+    }
+
+    fn step(&mut self, exec: &mut Executor) {
+        let lr = self.params.lr_policy.at(self.iter);
+        let regu = self.params.regu_coef;
+        let (rho, eps) = (self.rho, self.eps);
+        let acc_grad = &mut self.acc_grad;
+        let acc_update = &mut self.acc_update;
+        let mut idx = 0;
+        exec.for_each_param_mut(|v, g, lr_mult| {
+            let len = v.len();
+            ensure_state(acc_grad, idx, len);
+            ensure_state(acc_update, idx, len);
+            let ag = &mut acc_grad[idx];
+            let au = &mut acc_update[idx];
+            idx += 1;
+            let rate = lr * lr_mult;
+            for (((w, &grad), ag), au) in
+                v.iter_mut().zip(g).zip(ag.iter_mut()).zip(au.iter_mut())
+            {
+                let d = grad + regu * *w;
+                *ag = rho * *ag + (1.0 - rho) * d * d;
+                let update = -((*au + eps).sqrt() / (*ag + eps).sqrt()) * d;
+                *au = rho * *au + (1.0 - rho) * update * update;
+                *w += rate * update;
+            }
+        });
+        self.iter += 1;
+    }
+}
+
+/// Result of a [`solve`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Mean loss of the first iteration.
+    pub initial_loss: f32,
+    /// Mean loss of the final iteration.
+    pub final_loss: f32,
+    /// Total iterations executed.
+    pub iterations: usize,
+}
+
+/// Trains a network: the paper's `solve(solver, net)`.
+///
+/// Iterates `solver.params().max_epoch` epochs over the data source,
+/// running forward, backward, and the solver's update for each batch.
+///
+/// # Errors
+///
+/// Propagates input-feeding failures.
+pub fn solve(
+    solver: &mut dyn Solver,
+    exec: &mut Executor,
+    source: &mut dyn BatchSource,
+) -> Result<SolveReport, RuntimeError> {
+    let mut initial = None;
+    let mut last = 0.0;
+    let mut iterations = 0;
+    for _ in 0..solver.params().max_epoch {
+        source.reset();
+        while let Some(batch) = source.next_batch() {
+            for (ensemble, values) in &batch {
+                exec.set_input(ensemble, values)?;
+            }
+            exec.forward();
+            let loss = exec.loss();
+            if initial.is_none() {
+                initial = Some(loss);
+            }
+            last = loss;
+            exec.backward();
+            solver.step(exec);
+            iterations += 1;
+        }
+    }
+    Ok(SolveReport {
+        initial_loss: initial.unwrap_or(0.0),
+        final_loss: last,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lr_policies_decay_as_specified() {
+        let inv = LrPolicy::Inv {
+            base: 0.01,
+            gamma: 0.0001,
+            power: 0.75,
+        };
+        assert!((inv.at(0) - 0.01).abs() < 1e-9);
+        assert!(inv.at(10_000) < 0.01);
+        let step = LrPolicy::Step {
+            base: 0.1,
+            gamma: 0.5,
+            step: 10,
+        };
+        assert_eq!(step.at(9), 0.1);
+        assert_eq!(step.at(10), 0.05);
+        assert_eq!(step.at(25), 0.025);
+    }
+
+    #[test]
+    fn momentum_policy_values() {
+        assert_eq!(MomPolicy::None.at(5), 0.0);
+        assert_eq!(MomPolicy::Fixed { mom: 0.9 }.at(5), 0.9);
+    }
+
+    #[test]
+    fn ensure_state_sizes_lazily() {
+        let mut s = Vec::new();
+        ensure_state(&mut s, 2, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2].len(), 4);
+    }
+}

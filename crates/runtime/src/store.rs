@@ -1,0 +1,276 @@
+//! Buffer allocation: realizes the compiler's buffer plan, honoring
+//! aliases (shared storage) and batching.
+//!
+//! Batched buffers are allocated as one contiguous region of
+//! `batch * per_item` floats, item-major. Contiguity is what allows the
+//! runtime to execute fully-connected GEMMs once per batch instead of per
+//! item, and what keeps the double-buffered input loader a single copy.
+
+use std::collections::HashMap;
+
+use latte_ir::{BufferDecl, BufferKind};
+use latte_tensor::Shape;
+
+use crate::error::RuntimeError;
+
+/// Resolved placement of one named buffer.
+#[derive(Debug, Clone)]
+pub struct BufInfo {
+    /// Index into the store's storage vector.
+    pub storage: usize,
+    /// Elements per batch item.
+    pub per_item: usize,
+    /// Whether the buffer has one copy per batch item.
+    pub batched: bool,
+    /// The declared role.
+    pub kind: BufferKind,
+    /// The declared per-item shape.
+    pub shape: Shape,
+}
+
+/// All allocated storage for one compiled network instance.
+#[derive(Debug)]
+pub struct BufferStore {
+    batch: usize,
+    infos: HashMap<String, BufInfo>,
+    /// Primary declaration kind per storage (for phase zeroing).
+    storage_kinds: Vec<BufferKind>,
+    pub(crate) storages: Vec<Vec<f32>>,
+}
+
+impl BufferStore {
+    /// Allocates storage for a buffer plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadAlias`] when an alias target is missing
+    /// or incompatible.
+    pub fn new(decls: &[BufferDecl], batch: usize) -> Result<Self, RuntimeError> {
+        let mut infos: HashMap<String, BufInfo> = HashMap::new();
+        let mut storages: Vec<Vec<f32>> = Vec::new();
+        let mut storage_kinds: Vec<BufferKind> = Vec::new();
+        for decl in decls {
+            let per_item = decl.shape.len();
+            let batched = decl.kind.is_batched();
+            match &decl.alias_of {
+                None => {
+                    let len = if batched { per_item * batch } else { per_item };
+                    storages.push(vec![0.0; len]);
+                    storage_kinds.push(decl.kind);
+                    infos.insert(
+                        decl.name.clone(),
+                        BufInfo {
+                            storage: storages.len() - 1,
+                            per_item,
+                            batched,
+                            kind: decl.kind,
+                            shape: decl.shape.clone(),
+                        },
+                    );
+                }
+                Some(target) => {
+                    let t = infos.get(target).ok_or_else(|| RuntimeError::BadAlias {
+                        name: decl.name.clone(),
+                        target: target.clone(),
+                    })?;
+                    if t.per_item != per_item || t.batched != batched {
+                        return Err(RuntimeError::BadAlias {
+                            name: decl.name.clone(),
+                            target: target.clone(),
+                        });
+                    }
+                    let storage = t.storage;
+                    infos.insert(
+                        decl.name.clone(),
+                        BufInfo {
+                            storage,
+                            per_item,
+                            batched,
+                            kind: decl.kind,
+                            shape: decl.shape.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        Ok(BufferStore {
+            batch,
+            infos,
+            storage_kinds,
+            storages,
+        })
+    }
+
+    /// The batch size the store was allocated for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Placement of a named buffer.
+    pub fn info(&self, name: &str) -> Option<&BufInfo> {
+        self.infos.get(name)
+    }
+
+    /// Placement of a named buffer, as an error-carrying lookup.
+    pub fn require(&self, name: &str) -> Result<&BufInfo, RuntimeError> {
+        self.infos.get(name).ok_or_else(|| RuntimeError::UnknownBuffer {
+            name: name.to_string(),
+        })
+    }
+
+    /// Copies a buffer's entire storage out (all batch items).
+    pub fn read(&self, name: &str) -> Result<Vec<f32>, RuntimeError> {
+        let info = self.require(name)?;
+        Ok(self.storages[info.storage].clone())
+    }
+
+    /// Copies one item's slice of a batched buffer (or the whole buffer
+    /// when unbatched).
+    pub fn read_item(&self, name: &str, item: usize) -> Result<Vec<f32>, RuntimeError> {
+        let info = self.require(name)?;
+        let s = &self.storages[info.storage];
+        if info.batched {
+            let off = item * info.per_item;
+            Ok(s[off..off + info.per_item].to_vec())
+        } else {
+            Ok(s.clone())
+        }
+    }
+
+    /// Overwrites a buffer's entire storage.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `data` length differs from the storage length.
+    pub fn write(&mut self, name: &str, data: &[f32]) -> Result<(), RuntimeError> {
+        let info = self.require(name)?.clone();
+        let s = &mut self.storages[info.storage];
+        if s.len() != data.len() {
+            return Err(RuntimeError::InputShape {
+                buffer: name.to_string(),
+                detail: format!("expected {} elements, got {}", s.len(), data.len()),
+            });
+        }
+        s.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Zeroes every activation-gradient storage (`Grad` and
+    /// `InputGradStage`), run before each backward pass.
+    pub fn zero_grads(&mut self) {
+        for (i, kind) in self.storage_kinds.iter().enumerate() {
+            if matches!(kind, BufferKind::Grad | BufferKind::InputGradStage) {
+                self.storages[i].fill(0.0);
+            }
+        }
+    }
+
+    /// Zeroes every parameter-gradient storage, run before each
+    /// accumulation window (usually every iteration).
+    pub fn zero_param_grads(&mut self) {
+        for (i, kind) in self.storage_kinds.iter().enumerate() {
+            if matches!(kind, BufferKind::ParamGrad) {
+                self.storages[i].fill(0.0);
+            }
+        }
+    }
+
+    /// Total allocated floats (the memory-consumption metric used by the
+    /// shared-buffer ablation).
+    pub fn total_elements(&self) -> usize {
+        self.storages.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls() -> Vec<BufferDecl> {
+        vec![
+            BufferDecl::new("a.value", vec![4], BufferKind::Value),
+            BufferDecl::alias("b.value", vec![4], BufferKind::Value, "a.value"),
+            BufferDecl::new("a.weights", vec![4, 2], BufferKind::Param),
+            BufferDecl::new("a.grad", vec![4], BufferKind::Grad),
+            BufferDecl::new("a.g_weights", vec![4, 2], BufferKind::ParamGrad),
+        ]
+    }
+
+    #[test]
+    fn batched_buffers_scale_with_batch() {
+        let store = BufferStore::new(&decls(), 3).unwrap();
+        assert_eq!(store.read("a.value").unwrap().len(), 12);
+        // Params are not batched.
+        assert_eq!(store.read("a.weights").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn aliases_share_storage() {
+        let mut store = BufferStore::new(&decls(), 2).unwrap();
+        store.write("a.value", &[1.0; 8]).unwrap();
+        assert_eq!(store.read("b.value").unwrap(), vec![1.0; 8]);
+        assert_eq!(
+            store.info("a.value").unwrap().storage,
+            store.info("b.value").unwrap().storage
+        );
+    }
+
+    #[test]
+    fn read_item_slices_batched_buffers() {
+        let mut store = BufferStore::new(&decls(), 2).unwrap();
+        store
+            .write("a.value", &[0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 5.0])
+            .unwrap();
+        assert_eq!(store.read_item("a.value", 1).unwrap(), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn zeroing_is_kind_selective() {
+        let mut store = BufferStore::new(&decls(), 1).unwrap();
+        store.write("a.grad", &[1.0; 4]).unwrap();
+        store.write("a.g_weights", &[1.0; 8]).unwrap();
+        store.zero_grads();
+        assert_eq!(store.read("a.grad").unwrap(), vec![0.0; 4]);
+        assert_eq!(store.read("a.g_weights").unwrap(), vec![1.0; 8]);
+        store.zero_param_grads();
+        assert_eq!(store.read("a.g_weights").unwrap(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn missing_alias_target_rejected() {
+        let bad = vec![BufferDecl::alias(
+            "x",
+            vec![4],
+            BufferKind::Value,
+            "missing",
+        )];
+        assert!(matches!(
+            BufferStore::new(&bad, 1),
+            Err(RuntimeError::BadAlias { .. })
+        ));
+    }
+
+    #[test]
+    fn write_validates_length() {
+        let mut store = BufferStore::new(&decls(), 1).unwrap();
+        assert!(store.write("a.value", &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn shared_state_is_unbatched() {
+        let decls = vec![
+            BufferDecl::new("bn.state_prob", vec![4], BufferKind::State),
+            BufferDecl::new("bn.state_mean", vec![4], BufferKind::SharedState),
+        ];
+        let store = BufferStore::new(&decls, 3).unwrap();
+        assert_eq!(store.read("bn.state_prob").unwrap().len(), 12);
+        assert_eq!(store.read("bn.state_mean").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn total_elements_counts_unique_storage() {
+        let store = BufferStore::new(&decls(), 1).unwrap();
+        // a.value(4) + weights(8) + grad(4) + g_weights(8); alias adds 0.
+        assert_eq!(store.total_elements(), 24);
+    }
+}

@@ -1,0 +1,87 @@
+//! Data-parallel trainer behaviour: synchronized and lossy modes both
+//! learn, and the lossy mode's lost updates do not change the outcome
+//! (the Figure-20 claim, in miniature).
+
+use latte_core::{compile, OptLevel};
+use latte_nn::models::{mlp, ModelConfig};
+use latte_runtime::data::{BatchSource, MemoryDataSource};
+use latte_runtime::parallel::{DataParallelConfig, DataParallelTrainer, GradSync};
+
+fn items(n: usize) -> Vec<(Vec<f32>, f32)> {
+    (0..n)
+        .map(|i| {
+            let class = i % 3;
+            let x: Vec<f32> = (0..9)
+                .map(|j| if j % 3 == class { 1.0 } else { 0.05 + (i % 5) as f32 * 0.01 })
+                .collect();
+            (x, class as f32)
+        })
+        .collect()
+}
+
+fn train(workers: usize, sync: GradSync, epochs: usize) -> (f32, f32) {
+    let cfg = ModelConfig {
+        batch: 4,
+        input_size: 9,
+        channel_div: 1,
+        classes: 3,
+        with_loss: true,
+        seed: 11,
+    };
+    let mut trainer = DataParallelTrainer::new(
+        || compile(&mlp(&cfg, &[8]).net, &OptLevel::full()).unwrap(),
+        DataParallelConfig {
+            workers,
+            sync,
+            lr: 0.05,
+            momentum: 0.9,
+        },
+    )
+    .unwrap();
+    let all = items(96);
+    let mut sources: Vec<MemoryDataSource> = (0..workers)
+        .map(|w| {
+            let shard: Vec<_> = all.iter().skip(w).step_by(workers).cloned().collect();
+            MemoryDataSource::new("data", "label", shard, 4)
+        })
+        .collect();
+    let mut last = f32::NAN;
+    for _ in 0..epochs {
+        for s in &mut sources {
+            s.reset();
+        }
+        loop {
+            let shards: Option<Vec<_>> = sources.iter_mut().map(|s| s.next_batch()).collect();
+            match shards {
+                Some(shards) => last = trainer.step(&shards).unwrap(),
+                None => break,
+            }
+        }
+    }
+    let acc = trainer.accuracy("data", "ip_out.value", &items(48)).unwrap();
+    (last, acc)
+}
+
+#[test]
+fn synchronized_multi_worker_learns() {
+    let (loss, acc) = train(4, GradSync::Synchronized, 6);
+    assert!(loss < 0.3, "loss {loss}");
+    assert!(acc > 0.9, "accuracy {acc}");
+}
+
+#[test]
+fn lossy_multi_worker_learns_equally_well() {
+    let (_, acc_lossy) = train(4, GradSync::Lossy, 6);
+    let (_, acc_sync) = train(4, GradSync::Synchronized, 6);
+    assert!(
+        (acc_lossy - acc_sync).abs() < 0.05,
+        "lossy {acc_lossy} vs sync {acc_sync}"
+    );
+}
+
+#[test]
+fn single_worker_degenerates_to_plain_training() {
+    let (loss, acc) = train(1, GradSync::Synchronized, 6);
+    assert!(loss < 0.3, "loss {loss}");
+    assert!(acc > 0.9, "accuracy {acc}");
+}

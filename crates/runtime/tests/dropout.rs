@@ -1,0 +1,77 @@
+//! Dropout ensemble behaviour: fresh masks per pass, forward/backward
+//! mask agreement, correct keep-scaling.
+
+use latte_core::dsl::Net;
+use latte_core::{compile, OptLevel};
+use latte_nn::layers::{data, dropout, l2_loss};
+use latte_runtime::Executor;
+
+fn build(ratio: f64) -> Executor {
+    let mut net = Net::new(2);
+    let d = data(&mut net, "data", vec![256]);
+    let dr = dropout(&mut net, "drop1", d, ratio, 7);
+    let target = data(&mut net, "target", vec![256]);
+    l2_loss(&mut net, "loss", dr, target);
+    let compiled = compile(&net, &OptLevel::full()).unwrap();
+    Executor::new(compiled).unwrap()
+}
+
+#[test]
+fn forward_zeroes_roughly_ratio_and_scales_survivors() {
+    let ratio = 0.5;
+    let mut exec = build(ratio);
+    let input = vec![1.0f32; 512];
+    exec.set_input("data", &input).unwrap();
+    exec.set_input("target", &vec![0.0; 512]).unwrap();
+    exec.forward();
+    let out = exec.read_buffer("drop1.value").unwrap();
+    let zeros = out.iter().filter(|&&x| x == 0.0).count();
+    let kept = out.iter().filter(|&&x| (x - 2.0).abs() < 1e-6).count();
+    assert_eq!(zeros + kept, 512, "outputs are 0 or 1/(1-ratio)");
+    let frac = zeros as f32 / 512.0;
+    assert!((0.3..0.7).contains(&frac), "zero fraction {frac}");
+}
+
+#[test]
+fn masks_differ_across_passes_but_match_state() {
+    let mut exec = build(0.5);
+    exec.set_input("data", &vec![1.0; 512]).unwrap();
+    exec.set_input("target", &vec![0.0; 512]).unwrap();
+    exec.forward();
+    let out1 = exec.read_buffer("drop1.value").unwrap();
+    let mask1 = exec.read_buffer("drop1.state_mask").unwrap();
+    for (o, m) in out1.iter().zip(&mask1) {
+        assert_eq!(*o, *m, "output equals mask for unit input");
+    }
+    exec.forward();
+    let out2 = exec.read_buffer("drop1.value").unwrap();
+    assert_ne!(out1, out2, "fresh mask per pass");
+}
+
+#[test]
+fn backward_routes_through_recorded_mask() {
+    let mut exec = build(0.5);
+    exec.set_input("data", &vec![1.0; 512]).unwrap();
+    exec.set_input("target", &vec![0.0; 512]).unwrap();
+    exec.forward();
+    let mask = exec.read_buffer("drop1.state_mask").unwrap();
+    exec.backward();
+    // l2 loss grad at the dropout output is out/batch = mask/2; dropout
+    // backward multiplies by the mask again: data grad = mask²/2.
+    let gin = exec.read_buffer("data.grad").unwrap();
+    for (g, m) in gin.iter().zip(&mask) {
+        let expect = m * m / 2.0;
+        assert!((g - expect).abs() < 1e-5, "{g} vs {expect}");
+    }
+}
+
+#[test]
+fn items_get_independent_masks() {
+    let mut exec = build(0.5);
+    exec.set_input("data", &vec![1.0; 512]).unwrap();
+    exec.set_input("target", &vec![0.0; 512]).unwrap();
+    exec.forward();
+    let mask = exec.read_buffer("drop1.state_mask").unwrap();
+    let (a, b) = mask.split_at(256);
+    assert_ne!(a, b, "per-item masks differ");
+}

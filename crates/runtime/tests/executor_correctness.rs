@@ -1,0 +1,388 @@
+//! End-to-end executor correctness: Latte-compiled programs must produce
+//! the same numbers as direct tensor-library references, at every
+//! optimization level, and gradients must pass finite-difference checks.
+
+use latte_core::{compile, OptLevel};
+use latte_nn::layers::{
+    self, convolution, data, fully_connected, max_pool, relu, softmax_loss, ConvSpec,
+};
+use latte_nn::models::{lenet, mlp, ModelConfig};
+use latte_core::dsl::Net;
+use latte_runtime::{ExecConfig, Executor};
+use latte_runtime::registry::KernelRegistry;
+use latte_tensor::conv::{conv2d_batch_reference, maxpool2d, Conv2dParams};
+use latte_tensor::Tensor;
+
+fn seeded(len: usize, seed: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+            ((h >> 8) % 1000) as f32 / 500.0 - 1.0
+        })
+        .collect()
+}
+
+fn all_opt_levels() -> Vec<(&'static str, OptLevel)> {
+    vec![
+        ("none", OptLevel::none()),
+        ("parallel_only", OptLevel::parallel_only()),
+        ("pattern", OptLevel::none().with_pattern_match(true)),
+        ("pattern+tiling", OptLevel::none().with_pattern_match(true).with_tiling(true)),
+        (
+            "pattern+tiling+fusion",
+            OptLevel::none()
+                .with_pattern_match(true)
+                .with_tiling(true)
+                .with_fusion(true),
+        ),
+        ("full-no-shared", OptLevel::full().with_shared_buffers(false)),
+        ("full-no-vectorize", OptLevel::full().with_vectorize(false)),
+        ("full", OptLevel::full()),
+    ]
+}
+
+/// FC forward equals a hand-rolled matrix multiply for every opt level.
+#[test]
+fn fc_forward_matches_reference() {
+    let batch = 3;
+    let (n_in, n_out) = (10, 7);
+    for (tag, opt) in all_opt_levels() {
+        let mut net = Net::new(batch);
+        let d = data(&mut net, "data", vec![n_in]);
+        fully_connected(&mut net, "fc1", d, n_out, 5);
+        let compiled = compile(&net, &opt).unwrap();
+        let weights = compiled
+            .param_inits
+            .iter()
+            .find(|(n, _)| n == "fc1.weights")
+            .unwrap()
+            .1
+            .clone();
+        let mut exec = Executor::new(compiled).unwrap();
+        let input = seeded(batch * n_in, 1);
+        exec.set_input("data", &input).unwrap();
+        exec.forward();
+        let out = exec.read_buffer("fc1.value").unwrap();
+        for item in 0..batch {
+            for o in 0..n_out {
+                let mut expect = 0.0; // zero bias
+                for i in 0..n_in {
+                    expect += input[item * n_in + i] * weights[o * n_in + i];
+                }
+                let got = out[item * n_out + o];
+                assert!(
+                    (got - expect).abs() < 1e-3,
+                    "[{tag}] item {item} out {o}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+}
+
+/// Convolution (+ReLU +pool) forward equals the direct-loop reference for
+/// every opt level — this exercises staging copies, dimension dropping,
+/// GEMM matching, tiling, and fusion.
+#[test]
+fn conv_relu_pool_forward_matches_reference() {
+    let batch = 2;
+    let (h, w, cin, cout) = (8, 8, 3, 4);
+    let p = Conv2dParams {
+        in_channels: cin,
+        out_channels: cout,
+        height: h,
+        width: w,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    // Reference uses (c, y, x) layout; Latte uses (y, x, c). Build the
+    // input in both layouts from the same logical values.
+    let logical = |b: usize, c: usize, y: usize, x: usize| -> f32 {
+        seeded(1, (b * 1000 + c * 100 + y * 10 + x) as u32)[0]
+    };
+    let mut input_cyx = Tensor::zeros(vec![batch, cin, h, w]);
+    let mut input_yxc = vec![0.0f32; batch * h * w * cin];
+    for b in 0..batch {
+        for c in 0..cin {
+            for y in 0..h {
+                for x in 0..w {
+                    let v = logical(b, c, y, x);
+                    input_cyx[&[b, c, y, x][..]] = v;
+                    input_yxc[((b * h + y) * w + x) * cin + c] = v;
+                }
+            }
+        }
+    }
+
+    for (tag, opt) in all_opt_levels() {
+        let mut net = Net::new(batch);
+        let d = data(&mut net, "data", vec![h, w, cin]);
+        let conv = convolution(&mut net, "conv1", d, ConvSpec::same(cout, 3), 9);
+        let r = relu(&mut net, "relu1", conv);
+        max_pool(&mut net, "pool1", r, 2, 2);
+        let compiled = compile(&net, &opt).unwrap();
+
+        // Translate Latte's SoA weights [cout, k*k*cin] (patch order
+        // (ky, kx, c)) to the reference layout [cout, cin, ky, kx].
+        let wsoa = compiled
+            .param_inits
+            .iter()
+            .find(|(n, _)| n == "conv1.weights")
+            .unwrap()
+            .1
+            .clone();
+        let mut wref = Tensor::zeros(vec![cout, cin, 3, 3]);
+        for oc in 0..cout {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    for c in 0..cin {
+                        let soa_idx = oc * 27 + (ky * 3 + kx) * cin + c;
+                        wref[&[oc, c, ky, kx][..]] = wsoa[soa_idx];
+                    }
+                }
+            }
+        }
+
+        let mut exec = Executor::new(compiled).unwrap();
+        exec.set_input("data", &input_yxc).unwrap();
+        exec.forward();
+
+        let expected_conv = conv2d_batch_reference(&p, &input_cyx, &wref, &Tensor::zeros(vec![cout]));
+        // Compare pooled output.
+        let pool_p = Conv2dParams {
+            in_channels: cout,
+            out_channels: cout,
+            height: h,
+            width: w,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        };
+        let got_pool = exec.read_buffer("pool1.value").unwrap();
+        let (oh, ow) = (h / 2, w / 2);
+        for b in 0..batch {
+            // relu then pool on the reference, per channel plane.
+            let mut relued = vec![0.0f32; cout * h * w];
+            for c in 0..cout {
+                for y in 0..h {
+                    for x in 0..w {
+                        relued[c * h * w + y * w + x] =
+                            expected_conv.at(&[b, c, y, x]).max(0.0);
+                    }
+                }
+            }
+            let mut pooled = vec![0.0f32; cout * oh * ow];
+            maxpool2d(&pool_p, &relued, &mut pooled, &mut []);
+            for c in 0..cout {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let expect = pooled[c * oh * ow + y * ow + x];
+                        let got = got_pool[b * oh * ow * cout + (y * ow + x) * cout + c];
+                        assert!(
+                            (got - expect).abs() < 1e-3,
+                            "[{tag}] b{b} c{c} y{y} x{x}: {got} vs {expect}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Finite-difference gradient check through conv + relu + pool + fc +
+/// softmax loss, at both extreme opt levels.
+#[test]
+fn gradients_pass_finite_difference_check() {
+    for opt in [OptLevel::none(), OptLevel::full()] {
+        let batch = 2;
+        let mut net = Net::new(batch);
+        let d = data(&mut net, "data", vec![6, 6, 2]);
+        let label = data(&mut net, "label", vec![1]);
+        let conv = convolution(&mut net, "conv1", d, ConvSpec::same(3, 3), 11);
+        let r = relu(&mut net, "relu1", conv);
+        let p = max_pool(&mut net, "pool1", r, 2, 2);
+        let fc = fully_connected(&mut net, "fc1", p, 4, 12);
+        softmax_loss(&mut net, "loss", fc, label);
+        let compiled = compile(&net, &opt).unwrap();
+        let mut exec = Executor::new(compiled).unwrap();
+
+        let input = seeded(batch * 72, 21);
+        exec.set_input("data", &input).unwrap();
+        exec.set_input("label", &[1.0, 3.0]).unwrap();
+
+        exec.forward();
+        exec.backward();
+
+        // Check a few weights of each parameter against central
+        // differences of the mean loss (softmax_loss divides by batch, so
+        // the summed per-item losses / batch is the differentiated value).
+        for (param, grad_buf) in [
+            ("conv1.weights", "conv1.g_weights"),
+            ("fc1.weights", "fc1.g_weights"),
+            ("fc1.bias", "fc1.g_bias"),
+        ] {
+            let grads = exec.read_buffer(grad_buf).unwrap();
+            let values = exec.read_buffer(param).unwrap();
+            let probe = [0, values.len() / 2, values.len() - 1];
+            for &idx in &probe {
+                let eps = 2e-3;
+                let mut plus = values.clone();
+                plus[idx] += eps;
+                exec.write_buffer(param, &plus).unwrap();
+                exec.forward();
+                let lp = exec.loss();
+                let mut minus = values.clone();
+                minus[idx] -= eps;
+                exec.write_buffer(param, &minus).unwrap();
+                exec.forward();
+                let lm = exec.loss();
+                exec.write_buffer(param, &values).unwrap();
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grads[idx];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2 * analytic.abs().max(0.3),
+                    "{param}[{idx}]: numeric {numeric} vs analytic {analytic} ({opt:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Training the Figure-7 MLP with plain SGD decreases the loss.
+#[test]
+fn mlp_training_decreases_loss() {
+    let cfg = ModelConfig {
+        batch: 8,
+        input_size: 12,
+        channel_div: 1,
+        classes: 3,
+        with_loss: true,
+        seed: 3,
+    };
+    let model = mlp(&cfg, &[16]);
+    let compiled = compile(&model.net, &OptLevel::full()).unwrap();
+    let mut exec = Executor::new(compiled).unwrap();
+
+    // Deterministic, linearly-separable-ish synthetic task.
+    let mut inputs = vec![0.0f32; 8 * 12];
+    let mut labels = vec![0.0f32; 8];
+    for item in 0..8 {
+        let class = item % 3;
+        labels[item] = class as f32;
+        for j in 0..12 {
+            inputs[item * 12 + j] = if j % 3 == class { 1.0 } else { 0.1 }
+                + seeded(1, (item * 12 + j) as u32)[0] * 0.05;
+        }
+    }
+    exec.set_input("data", &inputs).unwrap();
+    exec.set_input("label", &labels).unwrap();
+    exec.forward();
+    let initial = exec.loss();
+    for _ in 0..60 {
+        exec.forward();
+        exec.backward();
+        exec.for_each_param_mut(|v, g, lr_mult| {
+            for (vi, gi) in v.iter_mut().zip(g) {
+                *vi -= 0.1 * lr_mult * gi;
+            }
+        });
+    }
+    exec.forward();
+    let trained = exec.loss();
+    assert!(
+        trained < initial * 0.5,
+        "loss {initial} -> {trained}: no learning"
+    );
+}
+
+/// Parallel batch execution (2 threads) produces the same activations and
+/// parameter gradients as sequential execution.
+#[test]
+fn parallel_execution_matches_sequential() {
+    let cfg = ModelConfig {
+        batch: 4,
+        input_size: 12,
+        channel_div: 8,
+        classes: 4,
+        with_loss: true,
+        seed: 5,
+    };
+    let build = || {
+        let m = lenet(&cfg);
+        compile(&m.net, &OptLevel::full()).unwrap()
+    };
+    let registry = KernelRegistry::with_builtins();
+    let mut seq =
+        Executor::with_registry(build(), &registry, ExecConfig { threads: 1 }).unwrap();
+    let mut par =
+        Executor::with_registry(build(), &registry, ExecConfig { threads: 2 }).unwrap();
+
+    let input = seeded(4 * 12 * 12, 77);
+    let labels = [0.0f32, 1.0, 2.0, 3.0];
+    for exec in [&mut seq, &mut par] {
+        exec.set_input("data", &input).unwrap();
+        exec.set_input("label", &labels).unwrap();
+        exec.forward();
+        exec.backward();
+    }
+    assert!((seq.loss() - par.loss()).abs() < 1e-5);
+    for buf in ["conv1.g_weights", "ip2.g_weights", "ip1.g_bias"] {
+        let a = seq.read_buffer(buf).unwrap();
+        let b = par.read_buffer(buf).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4, "{buf}: {x} vs {y}");
+        }
+    }
+}
+
+/// Irregular (non-affine) mappings execute through the gather table and
+/// reproduce the permutation in both directions.
+#[test]
+fn irregular_permutation_roundtrips() {
+    use latte_core::dsl::{Ensemble, Mapping, SourceRange, SourceRegion};
+    use latte_core::dsl::stdlib::identity_neuron;
+    let n = 8;
+    let perm = move |i: usize| (i * 3 + i * i) % n;
+    let mut net = Net::new(2);
+    let d = data(&mut net, "data", vec![n]);
+    let shuf = net.add(Ensemble::new("shuffle", vec![n], identity_neuron()));
+    net.connect(
+        d,
+        shuf,
+        Mapping::new(move |idx| {
+            SourceRegion::new(vec![SourceRange::single(perm(idx[0]) as isize)])
+        }),
+    );
+    layers::l2_loss(&mut net, "loss", shuf, d);
+    let compiled = compile(&net, &OptLevel::full()).unwrap();
+    let mut exec = Executor::new(compiled).unwrap();
+    let input: Vec<f32> = (0..2 * n).map(|i| i as f32).collect();
+    exec.set_input("data", &input).unwrap();
+    exec.forward();
+    let out = exec.read_buffer("shuffle.value").unwrap();
+    for item in 0..2 {
+        for i in 0..n {
+            assert_eq!(out[item * n + i], input[item * n + perm(i)]);
+        }
+    }
+}
+
+/// The shared-buffer optimization reduces allocation (paper Section 5.2's
+/// memory claim) without changing results.
+#[test]
+fn shared_buffers_reduce_memory() {
+    let build = |shared: bool| {
+        let mut net = Net::new(2);
+        let d = data(&mut net, "data", vec![8, 8, 3]);
+        convolution(&mut net, "conv1", d, ConvSpec::same(8, 3), 3);
+        compile(&net, &OptLevel::full().with_shared_buffers(shared)).unwrap()
+    };
+    let with = Executor::new(build(true)).unwrap();
+    let without = Executor::new(build(false)).unwrap();
+    assert!(
+        with.allocated_elements() < without.allocated_elements(),
+        "{} !< {}",
+        with.allocated_elements(),
+        without.allocated_elements()
+    );
+}

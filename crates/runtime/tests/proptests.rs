@@ -1,0 +1,219 @@
+//! Property-based tests over the whole compile→lower→execute stack.
+//!
+//! The central property: for *any* network shape, every optimization
+//! level computes the same function. A disagreement pinpoints a bug in
+//! synthesis, pattern matching, tiling, fusion, or lowering.
+
+use latte_core::dsl::Net;
+use latte_core::{compile, OptLevel};
+use latte_nn::layers::{
+    convolution, data, fully_connected, max_pool, mean_pool, relu, sigmoid, tanh, ConvSpec,
+};
+use latte_runtime::Executor;
+use proptest::prelude::*;
+
+fn seeded(len: usize, seed: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed.wrapping_mul(97));
+            ((h >> 8) % 1000) as f32 / 400.0 - 1.25
+        })
+        .collect()
+}
+
+/// Builds a random conv(+activation)(+pool) stack and returns the final
+/// buffer name to compare.
+#[allow(clippy::too_many_arguments)]
+fn build_stack(
+    batch: usize,
+    h: usize,
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    act: u8,
+    pool: u8,
+) -> Option<(Net, String, usize)> {
+    if h + 2 * pad < kernel {
+        return None;
+    }
+    let mut net = Net::new(batch);
+    let d = data(&mut net, "data", vec![h, h, cin]);
+    let conv = convolution(
+        &mut net,
+        "conv1",
+        d,
+        ConvSpec {
+            out_channels: cout,
+            kernel,
+            stride,
+            pad,
+        },
+        7,
+    );
+    let oh = (h + 2 * pad - kernel) / stride + 1;
+    let mut lastname = "conv1".to_string();
+    let mut last = conv;
+    match act {
+        1 => {
+            last = relu(&mut net, "act", last);
+            lastname = "act".into();
+        }
+        2 => {
+            last = sigmoid(&mut net, "act", last);
+            lastname = "act".into();
+        }
+        3 => {
+            last = tanh(&mut net, "act", last);
+            lastname = "act".into();
+        }
+        _ => {}
+    }
+    if pool > 0 && oh >= 2 {
+        let _ = match pool {
+            1 => max_pool(&mut net, "pool", last, 2, 2),
+            _ => mean_pool(&mut net, "pool", last, 2, 2),
+        };
+        lastname = "pool".into();
+    }
+    Some((net, format!("{lastname}.value"), h * h * cin))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All optimization levels compute identical forward values for
+    /// random convolution stacks.
+    #[test]
+    fn opt_levels_agree_on_random_conv_stacks(
+        batch in 1usize..4,
+        h in 4usize..11,
+        cin in 1usize..4,
+        cout in 1usize..6,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        act in 0u8..4,
+        pool in 0u8..3,
+        seed in 0u32..1000,
+    ) {
+        let Some((net, out_buf, in_len)) =
+            build_stack(batch, h, cin, cout, kernel, stride, pad, act, pool)
+        else {
+            return Ok(());
+        };
+        let input = seeded(batch * in_len, seed);
+        let mut reference: Option<Vec<f32>> = None;
+        for opt in [
+            OptLevel::none(),
+            OptLevel::none().with_pattern_match(true),
+            OptLevel::full().with_fusion(false),
+            OptLevel::full().with_shared_buffers(false),
+            OptLevel::full(),
+        ] {
+            let compiled = compile(&net, &opt).unwrap();
+            let mut exec = Executor::new(compiled).unwrap();
+            exec.set_input("data", &input).unwrap();
+            exec.forward();
+            let out = exec.read_buffer(&out_buf).unwrap();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => {
+                    for (a, b) in r.iter().zip(&out) {
+                        prop_assert!(
+                            (a - b).abs() <= 2e-3 * a.abs().max(1.0),
+                            "{opt:?}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backward parameter gradients also agree across optimization
+    /// levels (exercises backward fusion, scatter copies, and the
+    /// batched weight-gradient GEMMs).
+    #[test]
+    fn opt_levels_agree_on_gradients(
+        batch in 1usize..3,
+        h in 4usize..9,
+        cin in 1usize..3,
+        cout in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let mut build = |_tag: &str| {
+            let mut net = Net::new(batch);
+            let d = data(&mut net, "data", vec![h, h, cin]);
+            let conv = convolution(&mut net, "conv1", d, ConvSpec::same(cout, 3), 7);
+            let r = relu(&mut net, "relu1", conv);
+            let p = if h >= 2 { max_pool(&mut net, "pool1", r, 2, 2) } else { r };
+            let fc = fully_connected(&mut net, "fc1", p, 3, 9);
+            let label = data(&mut net, "label", vec![1]);
+            latte_nn::layers::softmax_loss(&mut net, "loss", fc, label);
+            net
+        };
+        let input = seeded(batch * h * h * cin, seed);
+        let labels: Vec<f32> = (0..batch).map(|i| (i % 3) as f32).collect();
+        let mut reference: Option<(Vec<f32>, Vec<f32>)> = None;
+        for opt in [OptLevel::none(), OptLevel::full()] {
+            let compiled = compile(&build("x"), &opt).unwrap();
+            let mut exec = Executor::new(compiled).unwrap();
+            exec.set_input("data", &input).unwrap();
+            exec.set_input("label", &labels).unwrap();
+            exec.forward();
+            exec.backward();
+            let gw = exec.read_buffer("conv1.g_weights").unwrap();
+            let gf = exec.read_buffer("fc1.g_weights").unwrap();
+            match &reference {
+                None => reference = Some((gw, gf)),
+                Some((rw, rf)) => {
+                    for (a, b) in rw.iter().zip(&gw).chain(rf.iter().zip(&gf)) {
+                        prop_assert!(
+                            (a - b).abs() <= 5e-3 * a.abs().max(0.5),
+                            "{opt:?}: grad {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fully-connected stacks of random depth/widths learn and agree
+    /// across levels.
+    #[test]
+    fn fc_chains_agree(
+        batch in 1usize..5,
+        input in 2usize..10,
+        widths in proptest::collection::vec(1usize..8, 1..4),
+        seed in 0u32..1000,
+    ) {
+        let mut net = Net::new(batch);
+        let d = data(&mut net, "data", vec![input]);
+        let mut prev = d;
+        for (i, &w) in widths.iter().enumerate() {
+            prev = fully_connected(&mut net, &format!("fc{i}"), prev, w, i as u64);
+            prev = tanh(&mut net, &format!("t{i}"), prev);
+        }
+        let out_buf = format!("t{}.value", widths.len() - 1);
+        let xs = seeded(batch * input, seed);
+        let mut reference: Option<Vec<f32>> = None;
+        for opt in [OptLevel::none(), OptLevel::full()] {
+            let compiled = compile(&net, &opt).unwrap();
+            let mut exec = Executor::new(compiled).unwrap();
+            exec.set_input("data", &xs).unwrap();
+            exec.forward();
+            let out = exec.read_buffer(&out_buf).unwrap();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => {
+                    for (a, b) in r.iter().zip(&out) {
+                        prop_assert!((a - b).abs() <= 1e-3, "{a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+}

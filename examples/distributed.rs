@@ -1,0 +1,93 @@
+//! Distributed training features: intra-node data parallelism with
+//! synchronized vs. lossy gradient accumulation, and the cluster
+//! simulator's scaling projections.
+//!
+//! ```text
+//! cargo run --release --example distributed
+//! ```
+
+use latte::core::{compile, OptLevel};
+use latte::nn::models::{mlp, ModelConfig};
+use latte::runtime::cluster::{weak_scaling, LayerProfile, NetworkModel};
+use latte::runtime::data::{synthetic_mnist, MemoryDataSource, BatchSource};
+use latte::runtime::parallel::{DataParallelConfig, DataParallelTrainer, GradSync};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let worker_batch = 8;
+    let workers = 4;
+    let cfg = ModelConfig {
+        batch: worker_batch,
+        input_size: 28 * 28,
+        channel_div: 1,
+        classes: 10,
+        with_loss: true,
+        seed: 21,
+    };
+
+    for sync in [GradSync::Synchronized, GradSync::Lossy] {
+        let mut trainer = DataParallelTrainer::new(
+            || compile(&mlp(&cfg, &[64]).net, &OptLevel::full()).expect("compiles"),
+            DataParallelConfig {
+                workers,
+                sync,
+                lr: 0.02,
+                momentum: 0.9,
+            },
+        )?;
+        let train = synthetic_mnist(1024, 5);
+        let mut sources: Vec<MemoryDataSource> = (0..workers)
+            .map(|w| {
+                let shard: Vec<_> = train
+                    .iter()
+                    .skip(w)
+                    .step_by(workers)
+                    .cloned()
+                    .collect();
+                MemoryDataSource::new("data", "label", shard, worker_batch)
+            })
+            .collect();
+        let mut last = 0.0;
+        for _epoch in 0..3 {
+            for s in &mut sources {
+                s.reset();
+            }
+            loop {
+                let shards: Option<Vec<_>> =
+                    sources.iter_mut().map(|s| s.next_batch()).collect();
+                match shards {
+                    Some(shards) => last = trainer.step(&shards)?,
+                    None => break,
+                }
+            }
+        }
+        let acc = trainer.accuracy("data", "ip_out.value", &synthetic_mnist(256, 77))?;
+        println!(
+            "{sync:?}: final loss {last:.4}, top-1 accuracy {:.1}%",
+            acc * 100.0
+        );
+    }
+
+    // Cluster-scale projection with the discrete-event simulator.
+    println!("\nweak scaling (64 items/node, InfiniBand-like fabric):");
+    let layers: Vec<LayerProfile> = (0..8)
+        .map(|i| LayerProfile {
+            name: format!("layer{i}"),
+            fwd_ms_per_item: 0.4 / (i + 1) as f64,
+            bwd_ms_per_item: 0.8 / (i + 1) as f64,
+            fixed_ms: 0.3,
+            grad_bytes: if i >= 5 { 100e6 } else { 5e6 },
+        })
+        .collect();
+    for (nodes, throughput, efficiency) in weak_scaling(
+        NetworkModel::infiniband_like(),
+        &layers,
+        64,
+        &[1, 2, 4, 8, 16, 32],
+    ) {
+        println!(
+            "  {nodes:>3} nodes: {throughput:>9.1} img/s  ({:.1}% efficiency)",
+            efficiency * 100.0
+        );
+    }
+    Ok(())
+}
