@@ -390,8 +390,9 @@ impl Layer for NaiveFc {
                 bottom.data[item * self.n_in..(item + 1) * self.n_in].to_vec();
             for o in 0..self.n_out {
                 let mut acc = self.bias[o];
-                for i in 0..self.n_in {
-                    acc += x[i] * self.weights[o * self.n_in + i];
+                let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
+                for (xi, wi) in x.iter().zip(row) {
+                    acc += xi * wi;
                 }
                 top.data[item * self.n_out + o] = acc;
             }

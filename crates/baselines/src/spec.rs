@@ -194,7 +194,7 @@ mod tests {
     fn vgg_shapes_reach_unit_spatial() {
         let mut shape = (3, 32, 32);
         for spec in vgg_a_specs(8, 10).iter().take(21) {
-            shape = out_shape(spec, *&shape);
+            shape = out_shape(spec, shape);
         }
         assert_eq!((shape.1, shape.2), (1, 1));
     }

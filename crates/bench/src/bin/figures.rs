@@ -611,7 +611,7 @@ fn fig20() {
         let mut sources: Vec<MemoryDataSource> = (0..workers)
             .map(|w| {
                 let shard: Vec<_> = train.iter().skip(w).step_by(workers).cloned().collect();
-                MemoryDataSource::new("data", "label", shard, worker_batch)
+                MemoryDataSource::try_new("data", "label", shard, worker_batch).unwrap()
             })
             .collect();
         for _epoch in 0..4 {

@@ -380,7 +380,7 @@ mod tests {
         assert!(g.tb);
         let t = g.tiling.expect("dim-0 tiling metadata");
         assert_eq!(t.dim, GemmDim::M);
-        assert_eq!(t.per_step, x as usize);
+        assert_eq!(t.per_step, x);
         assert_eq!(t.a_step, x * k);
         assert_eq!(t.c_step, x * c);
         assert_eq!(t.b_step, 0);

@@ -141,6 +141,7 @@ fn link_stride(prev: &Group, next: &Group) -> Option<usize> {
 
 /// Tiles a standalone group with a preferred tile size; returns the group
 /// unchanged when no statement can be tiled.
+#[allow(clippy::result_large_err)] // Err returns the group unchanged, by design
 fn tile_single(
     group: Group,
     stats: &mut ScheduleStats,
@@ -262,14 +263,14 @@ fn phase_suffix(p: crate::program::Phase) -> &'static str {
 /// one tile; an explicit override wins when it qualifies.
 fn choose_tile(extent: usize, requested: Option<usize>) -> Option<usize> {
     if let Some(t) = requested {
-        if t > 0 && extent % t == 0 && extent / t > 1 {
+        if t > 0 && extent.is_multiple_of(t) && extent / t > 1 {
             return Some(t);
         }
     }
     PREFERRED_TILES
         .iter()
         .copied()
-        .find(|&t| extent % t == 0 && extent / t > 1)
+        .find(|&t| extent.is_multiple_of(t) && extent / t > 1)
 }
 
 /// Restricts a group's top-level statements to one tile of `n0`: tile `t`

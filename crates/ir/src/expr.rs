@@ -251,7 +251,7 @@ impl BufRef {
     pub fn map_indices(&self, mut f: impl FnMut(&IndexExpr) -> IndexExpr) -> BufRef {
         BufRef {
             buffer: self.buffer.clone(),
-            indices: self.indices.iter().map(|i| f(i)).collect(),
+            indices: self.indices.iter().map(&mut f).collect(),
         }
     }
 }
@@ -391,21 +391,25 @@ impl Expr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, not operator overloading
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, not operator overloading
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, not operator overloading
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
     }
 
     /// `self / rhs`.
+    #[allow(clippy::should_implement_trait)] // DSL builder, not operator overloading
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
     }

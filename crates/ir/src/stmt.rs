@@ -384,36 +384,21 @@ impl Stmt {
 
     /// The buffers written by this nest.
     pub fn written_buffers(&self) -> Vec<String> {
+        fn push_unique(out: &mut Vec<String>, name: &str) {
+            if !out.iter().any(|b| b == name) {
+                out.push(name.to_string());
+            }
+        }
         let mut out = Vec::new();
         self.visit(&mut |s| match s {
-            Stmt::Assign(a) => {
-                if !out.contains(&a.dest.buffer) {
-                    out.push(a.dest.buffer.clone());
-                }
-            }
-            Stmt::Gemm(g) => {
-                if !out.contains(&g.c) {
-                    out.push(g.c.clone());
-                }
-            }
-            Stmt::Copy(c) => {
-                let written = if c.scatter { &c.src } else { &c.dest };
-                if !out.contains(written) {
-                    out.push(written.clone());
-                }
-            }
-            Stmt::Gather(g) => {
-                let written = if g.scatter { &g.src } else { &g.dest };
-                if !out.contains(written) {
-                    out.push(written.clone());
-                }
-            }
+            Stmt::Assign(a) => push_unique(&mut out, &a.dest.buffer),
+            Stmt::Gemm(g) => push_unique(&mut out, &g.c),
+            Stmt::Copy(c) => push_unique(&mut out, if c.scatter { &c.src } else { &c.dest }),
+            Stmt::Gather(g) => push_unique(&mut out, if g.scatter { &g.src } else { &g.dest }),
             Stmt::Extern(e) => {
                 // Conservatively treat every extern buffer as written.
                 for b in &e.buffers {
-                    if !out.contains(b) {
-                        out.push(b.clone());
-                    }
+                    push_unique(&mut out, b);
                 }
             }
             _ => {}

@@ -159,7 +159,7 @@ pub fn grouped_convolution(
     assert_eq!(src_dims.len(), 3, "convolution input must be (y, x, c)");
     let (h, w, in_c) = (src_dims[0], src_dims[1], src_dims[2]);
     assert!(
-        groups >= 1 && in_c % groups == 0 && spec.out_channels % groups == 0,
+        groups >= 1 && in_c.is_multiple_of(groups) && spec.out_channels.is_multiple_of(groups),
         "groups must divide both channel counts"
     );
     let (oh, ow) = (spec.out_extent(h), spec.out_extent(w));

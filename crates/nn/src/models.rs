@@ -199,7 +199,7 @@ pub fn alexnet(cfg: &ModelConfig) -> Model {
 /// Panics when `input_size` is not a multiple of 32.
 pub fn vgg_a(cfg: &ModelConfig) -> Model {
     assert!(
-        cfg.input_size % 32 == 0,
+        cfg.input_size.is_multiple_of(32),
         "VGG needs input divisible by 32 (five 2x2 pools)"
     );
     let mut net = Net::new(cfg.batch);

@@ -8,6 +8,8 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::RuntimeError;
+
 /// A batch: `(data ensemble name, batch * per_item values)` pairs.
 pub type Batch = Vec<(String, Vec<f32>)>;
 
@@ -35,24 +37,54 @@ impl MemoryDataSource {
     /// Creates a source over items; partial trailing batches are dropped
     /// (as in Caffe).
     ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when `batch` is zero or
+    /// there are fewer items than one batch.
+    pub fn try_new(
+        input_name: impl Into<String>,
+        label_name: impl Into<String>,
+        items: Vec<(Vec<f32>, f32)>,
+        batch: usize,
+    ) -> Result<Self, RuntimeError> {
+        if batch == 0 {
+            return Err(RuntimeError::InvalidConfig {
+                detail: "data source batch size must be non-zero".to_string(),
+            });
+        }
+        if items.len() < batch {
+            return Err(RuntimeError::InvalidConfig {
+                detail: format!(
+                    "data source needs at least one full batch ({} items < batch {batch})",
+                    items.len()
+                ),
+            });
+        }
+        Ok(MemoryDataSource {
+            input_name: input_name.into(),
+            label_name: label_name.into(),
+            items,
+            batch,
+            cursor: 0,
+        })
+    }
+
+    /// Panicking shim kept for old callers; use [`MemoryDataSource::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics when `batch` is zero or there are fewer items than one
     /// batch.
+    #[deprecated(since = "0.1.0", note = "use `try_new`, which reports errors instead of panicking")]
     pub fn new(
         input_name: impl Into<String>,
         label_name: impl Into<String>,
         items: Vec<(Vec<f32>, f32)>,
         batch: usize,
     ) -> Self {
-        assert!(batch > 0, "batch must be non-zero");
-        assert!(items.len() >= batch, "need at least one full batch");
-        MemoryDataSource {
-            input_name: input_name.into(),
-            label_name: label_name.into(),
-            items,
-            batch,
-            cursor: 0,
+        match Self::try_new(input_name, label_name, items, batch) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -324,8 +356,27 @@ mod tests {
     }
 
     #[test]
+    fn try_new_rejects_degenerate_configs() {
+        let err = MemoryDataSource::try_new("data", "label", items(5), 0).unwrap_err();
+        assert!(err.to_string().contains("non-zero"), "{err}");
+        let err = MemoryDataSource::try_new("data", "label", items(2), 3).unwrap_err();
+        assert!(err.to_string().contains("full batch"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_still_panics_on_bad_config() {
+        let ok = MemoryDataSource::new("data", "label", items(6), 3);
+        assert_eq!(ok.batches_per_epoch(), 2);
+        let panicked = std::panic::catch_unwind(|| {
+            MemoryDataSource::new("data", "label", items(2), 3)
+        });
+        assert!(panicked.is_err());
+    }
+
+    #[test]
     fn memory_source_batches_and_resets() {
-        let mut s = MemoryDataSource::new("data", "label", items(7), 3);
+        let mut s = MemoryDataSource::try_new("data", "label", items(7), 3).unwrap();
         assert_eq!(s.batches_per_epoch(), 2);
         let b1 = s.next_batch().unwrap();
         assert_eq!(b1[0].1.len(), 6);
@@ -339,27 +390,21 @@ mod tests {
     #[test]
     fn double_buffered_source_yields_same_batches() {
         let plain: Vec<Batch> = {
-            let mut s = MemoryDataSource::new("data", "label", items(9), 3);
+            let mut s = MemoryDataSource::try_new("data", "label", items(9), 3).unwrap();
             std::iter::from_fn(|| s.next_batch()).collect()
         };
-        let mut db = DoubleBufferedSource::new(MemoryDataSource::new(
-            "data",
-            "label",
-            items(9),
-            3,
-        ));
+        let mut db = DoubleBufferedSource::new(
+            MemoryDataSource::try_new("data", "label", items(9), 3).unwrap(),
+        );
         let buffered: Vec<Batch> = std::iter::from_fn(|| db.next_batch()).collect();
         assert_eq!(plain, buffered);
     }
 
     #[test]
     fn double_buffered_reset_restarts_epoch() {
-        let mut db = DoubleBufferedSource::new(MemoryDataSource::new(
-            "data",
-            "label",
-            items(6),
-            3,
-        ));
+        let mut db = DoubleBufferedSource::new(
+            MemoryDataSource::try_new("data", "label", items(6), 3).unwrap(),
+        );
         let first = db.next_batch().unwrap();
         let _ = db.next_batch();
         db.reset();

@@ -1,9 +1,10 @@
 //! Runtime error type.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// An error raised while lowering or executing a compiled network.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum RuntimeError {
     /// A statement references a buffer missing from the buffer table.
     UnknownBuffer {
@@ -35,6 +36,66 @@ pub enum RuntimeError {
         /// Explanation.
         detail: String,
     },
+    /// A runtime component was configured inconsistently (zero batch,
+    /// empty dataset, bad fault-tolerance policy, …).
+    InvalidConfig {
+        /// Explanation.
+        detail: String,
+    },
+    /// An I/O operation failed (checkpoint read/write, dataset access).
+    ///
+    /// Carries the originating [`std::io::Error`] when one exists, so
+    /// callers can walk [`std::error::Error::source`] chains.
+    Io {
+        /// What the runtime was doing when the failure occurred.
+        detail: String,
+        /// The underlying OS-level error, if any.
+        source: Option<Arc<std::io::Error>>,
+    },
+    /// Execution was interrupted by a (possibly injected) fault; the
+    /// supervisor treats this as a recoverable crash.
+    Interrupted {
+        /// What fault fired.
+        detail: String,
+    },
+}
+
+impl RuntimeError {
+    /// Wraps an I/O error with context about the failed operation.
+    pub fn io(detail: impl Into<String>, source: std::io::Error) -> Self {
+        RuntimeError::Io {
+            detail: detail.into(),
+            source: Some(Arc::new(source)),
+        }
+    }
+}
+
+impl PartialEq for RuntimeError {
+    fn eq(&self, other: &Self) -> bool {
+        use RuntimeError::*;
+        match (self, other) {
+            (UnknownBuffer { name: a }, UnknownBuffer { name: b }) => a == b,
+            (
+                BadAlias { name: a, target: ta },
+                BadAlias { name: b, target: tb },
+            ) => a == b && ta == tb,
+            (UnknownExtern { op: a }, UnknownExtern { op: b }) => a == b,
+            (
+                InputShape { buffer: a, detail: da },
+                InputShape { buffer: b, detail: db },
+            ) => a == b && da == db,
+            (Malformed { detail: a }, Malformed { detail: b }) => a == b,
+            (InvalidConfig { detail: a }, InvalidConfig { detail: b }) => a == b,
+            // I/O errors compare by context and OS error kind; the
+            // underlying error object itself is not comparable.
+            (
+                Io { detail: a, source: sa },
+                Io { detail: b, source: sb },
+            ) => a == b && sa.as_ref().map(|e| e.kind()) == sb.as_ref().map(|e| e.kind()),
+            (Interrupted { detail: a }, Interrupted { detail: b }) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -53,15 +114,35 @@ impl fmt::Display for RuntimeError {
                 write!(f, "bad input for buffer `{buffer}`: {detail}")
             }
             RuntimeError::Malformed { detail } => write!(f, "malformed program: {detail}"),
+            RuntimeError::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
+            }
+            RuntimeError::Io { detail, source } => match source {
+                Some(e) => write!(f, "i/o failure: {detail}: {e}"),
+                None => write!(f, "i/o failure: {detail}"),
+            },
+            RuntimeError::Interrupted { detail } => {
+                write!(f, "execution interrupted: {detail}")
+            }
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Io {
+                source: Some(e), ..
+            } => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_is_informative() {
@@ -69,5 +150,34 @@ mod tests {
             op: "softmax_forward".into(),
         };
         assert!(e.to_string().contains("softmax_forward"));
+    }
+
+    #[test]
+    fn io_errors_chain_their_source() {
+        let os = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        let e = RuntimeError::io("loading checkpoint `w.bin`", os);
+        assert!(e.to_string().contains("loading checkpoint"));
+        let src = e.source().expect("source present");
+        assert!(src.to_string().contains("short read"));
+        let plain = RuntimeError::Malformed { detail: "x".into() };
+        assert!(plain.source().is_none());
+    }
+
+    #[test]
+    fn io_errors_compare_by_context_and_kind() {
+        let a = RuntimeError::io(
+            "x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "a"),
+        );
+        let b = RuntimeError::io(
+            "x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "b"),
+        );
+        let c = RuntimeError::io(
+            "x",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "a"),
+        );
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 }

@@ -98,6 +98,10 @@ struct Frame {
     bufs: Vec<RawBuf>,
 }
 
+/// Parallel-worker buffer redirection: storage indices to replace, and
+/// their replacement `(pointer, length)` pairs.
+type RedirectTable<'a> = (&'a [usize], &'a [(*mut f32, usize)]);
+
 /// Builds the per-item frame from the store's base pointer.
 ///
 /// # Safety
@@ -109,7 +113,7 @@ unsafe fn build_frame(
     base: *mut Vec<f32>,
     g: &CGroup,
     item: usize,
-    redirect: Option<(&[usize], &[(*mut f32, usize)])>,
+    redirect: Option<RedirectTable<'_>>,
 ) -> Frame {
     let bufs = g
         .bufs
@@ -848,8 +852,9 @@ fn run_unit_fast_binary(inner: &InnerLoop, env: &[i64], frame: &Frame) -> bool {
 }
 
 fn exec_gemm(g: &CGemm, env: &[i64], frame: &Frame) {
-    let a_need = if g.ta { g.k * g.m } else { g.m * g.k };
-    let b_need = if g.tb { g.n * g.k } else { g.k * g.n };
+    // Operand sizes are transpose-invariant (k*m == m*k).
+    let a_need = g.m * g.k;
+    let b_need = g.k * g.n;
     let a = frame.bufs[g.a.buf].slice(g.a.idx.eval(env), a_need);
     let b = frame.bufs[g.b.buf].slice(g.b.idx.eval(env), b_need);
     let c = frame.bufs[g.c.buf].slice_mut(g.c.idx.eval(env), g.m * g.n);
@@ -958,6 +963,7 @@ fn exec_copy_program(
 /// with incrementally maintained per-source-dimension indices; the
 /// innermost dimension is clipped to its valid interval analytically
 /// (every source index is affine in the inner counter).
+#[allow(clippy::needless_range_loop)] // walks several parallel index arrays
 fn exec_copy_clipped(c: &CCopy, offsets: &[i64], frame: &Frame) {
     let ndd = c.extents.len();
     let nsd = c.src_dims.len();

@@ -1,0 +1,316 @@
+//! Deterministic fault injection for the runtime.
+//!
+//! A [`FaultPlan`] is an explicit schedule of failures — node crashes,
+//! straggler slowdowns, dropped/corrupted gradient transfers, checkpoint
+//! I/O errors, and whole-process deaths — that the cluster simulation
+//! ([`crate::cluster::simulate_run`]) and the training supervisor
+//! ([`crate::supervisor`]) consult at well-defined points. Plans are
+//! either written out by hand (tests pin exact scenarios) or generated
+//! pseudo-randomly from a seed ([`FaultPlan::random`]), so every failure
+//! scenario is reproducible bit-for-bit: same seed, same faults, same
+//! recovery trace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// `node` halts permanently at the start of iteration `iter`.
+    NodeCrash {
+        /// The crashing node.
+        node: usize,
+        /// First iteration the node is dead for.
+        iter: usize,
+    },
+    /// `node` computes `factor`× slower for iterations
+    /// `from_iter..to_iter`.
+    Straggler {
+        /// The slow node.
+        node: usize,
+        /// First affected iteration.
+        from_iter: usize,
+        /// First iteration back at full speed.
+        to_iter: usize,
+        /// Compute-time multiplier (> 1).
+        factor: f64,
+    },
+    /// One gradient transfer from `node` for layer `layer` during
+    /// iteration `iter` is silently dropped; the receiver times out and
+    /// requests a retransmit. Several identical entries model repeated
+    /// drops, eating into the retry budget.
+    TransferDrop {
+        /// The sending node.
+        node: usize,
+        /// The affected iteration.
+        iter: usize,
+        /// The layer whose all-reduce is hit.
+        layer: usize,
+    },
+    /// Like [`Fault::TransferDrop`], but the transfer arrives with a bad
+    /// checksum — detected immediately instead of after a timeout.
+    TransferCorrupt {
+        /// The sending node.
+        node: usize,
+        /// The affected iteration.
+        iter: usize,
+        /// The layer whose all-reduce is hit.
+        layer: usize,
+    },
+    /// The checkpoint write scheduled at iteration `iter` fails with an
+    /// I/O error (fires once).
+    IoError {
+        /// The affected iteration.
+        iter: usize,
+    },
+    /// The training process dies after completing iteration `iter`
+    /// (fires once — the restarted process is not re-killed).
+    ProcessDeath {
+        /// The last completed iteration before death.
+        iter: usize,
+    },
+}
+
+/// How a faulty transfer failed, as seen by the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFault {
+    /// Nothing arrived; detected by timeout.
+    Dropped,
+    /// Payload arrived but failed its checksum; detected immediately.
+    Corrupted,
+}
+
+/// Rates for [`FaultPlan::random`]; all probabilities are per-node
+/// per-iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRates {
+    /// Probability a healthy node crashes.
+    pub crash: f64,
+    /// Probability a straggler phase starts.
+    pub straggle: f64,
+    /// Straggler slowdown factor.
+    pub straggle_factor: f64,
+    /// Straggler phase length in iterations.
+    pub straggle_len: usize,
+    /// Probability a node drops one transfer.
+    pub transfer_drop: f64,
+    /// Probability a node corrupts one transfer.
+    pub transfer_corrupt: f64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates {
+            crash: 0.01,
+            straggle: 0.05,
+            straggle_factor: 3.0,
+            straggle_len: 3,
+            transfer_drop: 0.02,
+            transfer_corrupt: 0.01,
+        }
+    }
+}
+
+/// A reproducible schedule of failures.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    fired: Vec<bool>,
+}
+
+impl FaultPlan {
+    /// A plan executing exactly `faults`.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        let fired = vec![false; faults.len()];
+        FaultPlan { faults, fired }
+    }
+
+    /// The empty (fault-free) plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Generates a plan over `nodes` nodes and `iters` iterations from a
+    /// seed: identical seeds yield identical plans.
+    pub fn random(seed: u64, nodes: usize, iters: usize, layers: usize, rates: &FaultRates) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        for iter in 0..iters {
+            for node in 0..nodes {
+                if rates.crash > 0.0 && rng.gen_range(0.0..1.0) < rates.crash {
+                    faults.push(Fault::NodeCrash { node, iter });
+                }
+                if rates.straggle > 0.0 && rng.gen_range(0.0..1.0) < rates.straggle {
+                    faults.push(Fault::Straggler {
+                        node,
+                        from_iter: iter,
+                        to_iter: iter + rates.straggle_len.max(1),
+                        factor: rates.straggle_factor,
+                    });
+                }
+                if rates.transfer_drop > 0.0 && rng.gen_range(0.0..1.0) < rates.transfer_drop {
+                    let layer = rng.gen_range(0..layers.max(1));
+                    faults.push(Fault::TransferDrop { node, iter, layer });
+                }
+                if rates.transfer_corrupt > 0.0 && rng.gen_range(0.0..1.0) < rates.transfer_corrupt
+                {
+                    let layer = rng.gen_range(0..layers.max(1));
+                    faults.push(Fault::TransferCorrupt { node, iter, layer });
+                }
+            }
+        }
+        FaultPlan::new(faults)
+    }
+
+    /// Every scheduled fault.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether `node` is scheduled to have crashed at or before `iter`.
+    pub fn crashed_by(&self, node: usize, iter: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::NodeCrash { node: n, iter: i } if *n == node && *i <= iter)
+        })
+    }
+
+    /// The compute-slowdown factor for `node` at `iter` (1.0 = healthy);
+    /// overlapping straggler phases compound.
+    pub fn straggle_factor(&self, node: usize, iter: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Straggler {
+                    node: n,
+                    from_iter,
+                    to_iter,
+                    factor,
+                } if *n == node && (*from_iter..*to_iter).contains(&iter) => Some(*factor),
+                _ => None,
+            })
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// The transfer faults hitting `(node, iter, layer)`, in schedule
+    /// order — one retry is needed per entry.
+    pub fn transfer_faults(&self, node: usize, iter: usize, layer: usize) -> Vec<TransferFault> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::TransferDrop {
+                    node: n,
+                    iter: i,
+                    layer: l,
+                } if (*n, *i, *l) == (node, iter, layer) => Some(TransferFault::Dropped),
+                Fault::TransferCorrupt {
+                    node: n,
+                    iter: i,
+                    layer: l,
+                } if (*n, *i, *l) == (node, iter, layer) => Some(TransferFault::Corrupted),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Consumes a pending [`Fault::ProcessDeath`] for `iter`, if one has
+    /// not fired yet. One-shot: the restarted process re-executing
+    /// `iter` is not killed again.
+    pub fn take_process_death(&mut self, iter: u64) -> bool {
+        self.take_once(|f| matches!(f, Fault::ProcessDeath { iter: i } if *i as u64 == iter))
+    }
+
+    /// Consumes a pending [`Fault::IoError`] for `iter` (one-shot).
+    pub fn take_io_error(&mut self, iter: u64) -> bool {
+        self.take_once(|f| matches!(f, Fault::IoError { iter: i } if *i as u64 == iter))
+    }
+
+    fn take_once(&mut self, matches: impl Fn(&Fault) -> bool) -> bool {
+        for (i, f) in self.faults.iter().enumerate() {
+            if !self.fired[i] && matches(f) {
+                self.fired[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let rates = FaultRates::default();
+        let a = FaultPlan::random(11, 4, 20, 8, &rates);
+        let b = FaultPlan::random(11, 4, 20, 8, &rates);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(12, 4, 20, 8, &rates);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn crash_is_permanent_from_its_iteration() {
+        let plan = FaultPlan::new(vec![Fault::NodeCrash { node: 1, iter: 3 }]);
+        assert!(!plan.crashed_by(1, 2));
+        assert!(plan.crashed_by(1, 3));
+        assert!(plan.crashed_by(1, 10));
+        assert!(!plan.crashed_by(0, 10));
+    }
+
+    #[test]
+    fn straggle_factor_windows_and_compounds() {
+        let plan = FaultPlan::new(vec![
+            Fault::Straggler {
+                node: 0,
+                from_iter: 2,
+                to_iter: 5,
+                factor: 2.0,
+            },
+            Fault::Straggler {
+                node: 0,
+                from_iter: 4,
+                to_iter: 6,
+                factor: 3.0,
+            },
+        ]);
+        assert_eq!(plan.straggle_factor(0, 1), 1.0);
+        assert_eq!(plan.straggle_factor(0, 2), 2.0);
+        assert_eq!(plan.straggle_factor(0, 4), 6.0);
+        assert_eq!(plan.straggle_factor(0, 5), 3.0);
+        assert_eq!(plan.straggle_factor(1, 4), 1.0);
+    }
+
+    #[test]
+    fn transfer_faults_accumulate_per_site() {
+        let plan = FaultPlan::new(vec![
+            Fault::TransferDrop { node: 2, iter: 1, layer: 0 },
+            Fault::TransferDrop { node: 2, iter: 1, layer: 0 },
+            Fault::TransferCorrupt { node: 2, iter: 1, layer: 0 },
+        ]);
+        let faults = plan.transfer_faults(2, 1, 0);
+        assert_eq!(
+            faults,
+            vec![
+                TransferFault::Dropped,
+                TransferFault::Dropped,
+                TransferFault::Corrupted
+            ]
+        );
+        assert!(plan.transfer_faults(2, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn one_shot_faults_fire_once() {
+        let mut plan = FaultPlan::new(vec![
+            Fault::ProcessDeath { iter: 5 },
+            Fault::IoError { iter: 2 },
+        ]);
+        assert!(!plan.take_process_death(4));
+        assert!(plan.take_process_death(5));
+        assert!(!plan.take_process_death(5), "death is one-shot");
+        assert!(plan.take_io_error(2));
+        assert!(!plan.take_io_error(2));
+    }
+}

@@ -14,7 +14,17 @@
 //!   *lossy* gradient accumulation (Figure 20).
 //! * [`accel`] — the simulated-coprocessor chunk scheduler (Figure 17).
 //! * [`cluster`] — the discrete-event cluster simulation with overlapped
-//!   ring all-reduce (Figures 18–19).
+//!   ring all-reduce (Figures 18–19), including the fault-aware
+//!   multi-iteration mode with retries, straggler detection, and
+//!   degraded (lossy) all-reduce.
+//! * [`fault`] — deterministic, seedable fault injection (crashes,
+//!   stragglers, transfer drops/corruption, I/O errors, process death).
+//! * [`supervisor`] — the fault-tolerant training loop: periodic atomic
+//!   checkpoints, crash detection, and resume-from-checkpoint with a
+//!   loss-continuity check.
+//! * [`checkpoint`] — crash-safe (atomic, CRC-verified) weight
+//!   serialization.
+//! * [`metrics`] — evaluation helpers and the fault-event counters.
 //! * [`registry`] — extern kernels for normalization ensembles.
 
 #![warn(missing_docs)]
@@ -24,6 +34,7 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod data;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 mod exec;
 mod lower;
@@ -31,6 +42,7 @@ pub mod parallel;
 pub mod registry;
 pub mod solver;
 pub mod store;
+pub mod supervisor;
 
 pub use error::RuntimeError;
 pub use exec::{ExecConfig, Executor};

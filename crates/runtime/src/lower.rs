@@ -237,6 +237,7 @@ pub(crate) struct CopyRun {
 /// Enumerates a copy's runs for fixed offset values — the shared
 /// generator behind both the precompiled programs and (indirectly) the
 /// runtime fallback semantics.
+#[allow(clippy::needless_range_loop)] // walks several parallel index arrays
 pub(crate) fn copy_runs(c: &CCopy, offsets: &[i64]) -> CopyProgram {
     let ndd = c.extents.len();
     let nsd = c.src_dims.len();
@@ -747,8 +748,8 @@ impl GroupLowerer<'_> {
         };
         // Static bounds: offset range + operand extent within the buffer.
         for (r, need, name) in [
-            (&a, if g.ta { g.k * g.m } else { g.m * g.k }, &g.a),
-            (&b, if g.tb { g.n * g.k } else { g.k * g.n }, &g.b),
+            (&a, g.m * g.k, &g.a),
+            (&b, g.k * g.n, &g.b),
             (&c, g.m * g.n, &g.c),
         ] {
             let (lo, hi) = r.idx.range(&self.slot_extents);
@@ -922,8 +923,8 @@ impl GroupLowerer<'_> {
             .map(|o| self.cidx(o))
             .collect::<Result<Vec<_>, _>>()?;
         // Static bound: offset + extent within dest shape per dim.
-        for d in 0..ndd {
-            let (lo, hi) = offsets[d].range(&self.slot_extents);
+        for (d, off) in offsets.iter().enumerate() {
+            let (lo, hi) = off.range(&self.slot_extents);
             if lo < 0 || hi + c.extents[d] as i64 > c.dest_shape[d] as i64 {
                 return Err(RuntimeError::Malformed {
                     detail: format!(

@@ -1,7 +1,98 @@
-//! Evaluation helpers: classification over a trained executor.
+//! Evaluation helpers (classification over a trained executor) and the
+//! fault-tolerance counter registry shared by the cluster simulation and
+//! the training supervisor.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::RuntimeError;
 use crate::exec::Executor;
+
+/// Monotonic counters recording fault-tolerance events. Thread-safe;
+/// share one instance (e.g. behind an `Arc`) between the supervisor,
+/// the cluster simulation, and whoever reports the run.
+#[derive(Debug, Default)]
+pub struct FaultMetrics {
+    /// Transfer retries after a timeout, drop, or corruption.
+    pub retries: AtomicU64,
+    /// Transfers that timed out or were dropped by fault injection.
+    pub transfers_dropped: AtomicU64,
+    /// Transfers whose payload failed its checksum (injected corruption).
+    pub transfers_corrupted: AtomicU64,
+    /// Nodes declared dead (crash or retry budget exhausted).
+    pub nodes_failed: AtomicU64,
+    /// Straggler detections (a node exceeding the rolling time estimate).
+    pub stragglers_detected: AtomicU64,
+    /// Iterations executed in the degraded (lossy, shrunken-ring) mode.
+    pub degraded_iterations: AtomicU64,
+    /// Checkpoints successfully written.
+    pub checkpoints_saved: AtomicU64,
+    /// Successful restores from a checkpoint.
+    pub restores: AtomicU64,
+    /// I/O errors observed (and survived) while checkpointing.
+    pub io_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`FaultMetrics`], comparable in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct FaultMetricsSnapshot {
+    pub retries: u64,
+    pub transfers_dropped: u64,
+    pub transfers_corrupted: u64,
+    pub nodes_failed: u64,
+    pub stragglers_detected: u64,
+    pub degraded_iterations: u64,
+    pub checkpoints_saved: u64,
+    pub restores: u64,
+    pub io_errors: u64,
+}
+
+impl FaultMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to a counter (relaxed; counters are independent).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> FaultMetricsSnapshot {
+        FaultMetricsSnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            transfers_dropped: self.transfers_dropped.load(Ordering::Relaxed),
+            transfers_corrupted: self.transfers_corrupted.load(Ordering::Relaxed),
+            nodes_failed: self.nodes_failed.load(Ordering::Relaxed),
+            stragglers_detected: self.stragglers_detected.load(Ordering::Relaxed),
+            degraded_iterations: self.degraded_iterations.load(Ordering::Relaxed),
+            checkpoints_saved: self.checkpoints_saved.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Display for FaultMetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retries={} dropped={} corrupted={} nodes_failed={} stragglers={} \
+             degraded_iters={} checkpoints={} restores={} io_errors={}",
+            self.retries,
+            self.transfers_dropped,
+            self.transfers_corrupted,
+            self.nodes_failed,
+            self.stragglers_detected,
+            self.degraded_iterations,
+            self.checkpoints_saved,
+            self.restores,
+            self.io_errors,
+        )
+    }
+}
 
 /// Classifies `items` in batches through the executor and returns top-1
 /// accuracy. `input` is the data ensemble name, `output` the prediction
@@ -65,6 +156,20 @@ pub fn argmax(row: &[f32]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_metrics_count_and_snapshot() {
+        let m = FaultMetrics::new();
+        FaultMetrics::bump(&m.retries);
+        FaultMetrics::bump(&m.retries);
+        FaultMetrics::bump(&m.nodes_failed);
+        let snap = m.snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.nodes_failed, 1);
+        assert_eq!(snap.transfers_dropped, 0);
+        let text = snap.to_string();
+        assert!(text.contains("retries=2") && text.contains("nodes_failed=1"));
+    }
 
     #[test]
     fn argmax_basic_and_ties() {

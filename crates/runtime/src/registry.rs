@@ -153,7 +153,7 @@ impl KernelRegistry {
                         ^ (item as u64) << 32
                         ^ i as u64,
                 );
-                let keep = (h >> 11) as f32 / (1u64 << 53) as f32 >= ratio as f32;
+                let keep = (h >> 11) as f32 / (1u64 << 53) as f32 >= ratio;
                 let m = if keep { keep_scale } else { 0.0 };
                 inv.buf_mut(2)[i] = m;
                 let x = inv.buf(0)[i];

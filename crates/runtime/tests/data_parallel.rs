@@ -42,7 +42,7 @@ fn train(workers: usize, sync: GradSync, epochs: usize) -> (f32, f32) {
     let mut sources: Vec<MemoryDataSource> = (0..workers)
         .map(|w| {
             let shard: Vec<_> = all.iter().skip(w).step_by(workers).cloned().collect();
-            MemoryDataSource::new("data", "label", shard, 4)
+            MemoryDataSource::try_new("data", "label", shard, 4).unwrap()
         })
         .collect();
     let mut last = f32::NAN;

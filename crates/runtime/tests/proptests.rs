@@ -144,7 +144,7 @@ proptest! {
         cout in 1usize..4,
         seed in 0u32..1000,
     ) {
-        let mut build = |_tag: &str| {
+        let build = |_tag: &str| {
             let mut net = Net::new(batch);
             let d = data(&mut net, "data", vec![h, h, cin]);
             let conv = convolution(&mut net, "conv1", d, ConvSpec::same(cout, 3), 7);

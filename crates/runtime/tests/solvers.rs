@@ -32,7 +32,7 @@ fn task() -> (Executor, MemoryDataSource) {
             (x, class as f32)
         })
         .collect();
-    (exec, MemoryDataSource::new("data", "label", items, 8))
+    (exec, MemoryDataSource::try_new("data", "label", items, 8).unwrap())
 }
 
 fn check(solver: &mut dyn Solver, tag: &str) {

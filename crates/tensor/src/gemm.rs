@@ -52,6 +52,7 @@ impl Transpose {
 /// # Panics
 ///
 /// Panics if any slice is shorter than its shape requires.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
 pub fn gemm_naive(
     ta: Transpose,
     tb: Transpose,
@@ -152,6 +153,7 @@ impl Gemm {
     /// # Panics
     ///
     /// Panics if any slice is shorter than its shape requires.
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
     pub fn compute(
         &mut self,
         ta: Transpose,

@@ -111,9 +111,9 @@ impl Shape {
     pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
         assert!(offset < self.len(), "offset {offset} out of bounds");
         let mut index = vec![0; self.dims.len()];
-        for axis in 0..self.dims.len() {
-            index[axis] = offset / self.strides[axis];
-            offset %= self.strides[axis];
+        for (slot, &stride) in index.iter_mut().zip(&self.strides) {
+            *slot = offset / stride;
+            offset %= stride;
         }
         index
     }

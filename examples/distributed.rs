@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .step_by(workers)
                     .cloned()
                     .collect();
-                MemoryDataSource::new("data", "label", shard, worker_batch)
+                MemoryDataSource::try_new("data", "label", shard, worker_batch).unwrap()
             })
             .collect();
         let mut last = 0.0;

@@ -1,0 +1,169 @@
+//! Fault-tolerant training: a simulated cluster surviving a crash, a
+//! straggler, and a dropped gradient transfer, then a single-node
+//! training run killed mid-epoch and resumed from the supervisor's
+//! checkpoint.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance [--seed N]
+//! ```
+//!
+//! With `--seed N` the cluster faults are sampled randomly (but
+//! reproducibly) from `FaultRates` instead of the scripted plan.
+
+use latte::core::{compile, OptLevel};
+use latte::nn::models::{mlp, ModelConfig};
+use latte::runtime::cluster::{
+    simulate_run, ClusterSpec, FaultPolicy, LayerProfile, NetworkModel,
+};
+use latte::runtime::data::MemoryDataSource;
+use latte::runtime::fault::{Fault, FaultPlan, FaultRates};
+use latte::runtime::metrics::FaultMetrics;
+use latte::runtime::solver::{LrPolicy, MomPolicy, Sgd, SolverParams};
+use latte::runtime::supervisor::{supervise, SupervisorConfig};
+use latte::runtime::Executor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let seed = match args.next().as_deref() {
+        Some("--seed") => {
+            let v = args
+                .next()
+                .ok_or("--seed requires a value, e.g. --seed 7")?;
+            Some(v.parse::<u64>().map_err(|e| format!("--seed {v}: {e}"))?)
+        }
+        Some(other) => return Err(format!("unknown argument {other:?}; usage: fault_tolerance [--seed N]").into()),
+        None => None,
+    };
+
+    // --- 1. Cluster under fire -----------------------------------------
+    let nodes = 4;
+    let iters = 12;
+    let layers: Vec<LayerProfile> = (0..6)
+        .map(|i| LayerProfile {
+            name: format!("layer{i}"),
+            fwd_ms_per_item: 0.2 / (i + 1) as f64,
+            bwd_ms_per_item: 0.4 / (i + 1) as f64,
+            fixed_ms: 0.3,
+            grad_bytes: [0.5e6, 2e6, 9e6, 9e6, 200e6, 16e6][i],
+        })
+        .collect();
+    let plan = match seed {
+        Some(s) => {
+            println!("random fault plan, seed {s}:");
+            FaultPlan::random(s, nodes, iters, layers.len(), &FaultRates::default())
+        }
+        None => {
+            println!("scripted fault plan:");
+            FaultPlan::new(vec![
+                Fault::TransferDrop { node: 0, iter: 2, layer: 4 },
+                Fault::Straggler { node: 1, from_iter: 4, to_iter: 7, factor: 4.0 },
+                Fault::NodeCrash { node: 2, iter: 8 },
+            ])
+        }
+    };
+    for f in plan.faults() {
+        println!("  {f:?}");
+    }
+
+    let spec = ClusterSpec {
+        nodes,
+        network: NetworkModel::infiniband_like(),
+    };
+    let metrics = FaultMetrics::new();
+    let run = simulate_run(
+        &spec,
+        &layers,
+        32,
+        iters,
+        &plan,
+        &FaultPolicy::default(),
+        &metrics,
+    )?;
+
+    println!("\n{nodes}-node cluster, {iters} iterations (batch 32/node):");
+    for it in &run.iterations {
+        let mut notes = Vec::new();
+        if !it.newly_dead.is_empty() {
+            notes.push(format!("died: {:?}", it.newly_dead));
+        }
+        if !it.stragglers.is_empty() {
+            notes.push(format!("straggling: {:?}", it.stragglers));
+        }
+        if it.retry_penalty_ms > 0.0 {
+            notes.push(format!("retry penalty {:.1} ms", it.retry_penalty_ms));
+        }
+        println!(
+            "  iter {:>2}: {:>7.1} ms  {:?} over {} node(s)  {}",
+            it.iter,
+            it.total_ms,
+            it.mode,
+            it.live_nodes,
+            notes.join(", ")
+        );
+    }
+    println!(
+        "survivors: {}/{nodes}, final mode {:?}, total {:.1} ms",
+        run.live_nodes,
+        run.final_mode,
+        run.total_ms()
+    );
+    println!("fault counters: {}", metrics.snapshot());
+
+    // --- 2. Supervisor recovering a mid-epoch process death ------------
+    println!("\nsupervised training, process killed after iteration 16:");
+    let cfg = ModelConfig {
+        batch: 4,
+        input_size: 8,
+        channel_div: 1,
+        classes: 3,
+        with_loss: true,
+        seed: 5,
+    };
+    let items: Vec<(Vec<f32>, f32)> = (0..40)
+        .map(|i| {
+            let class = i % 3;
+            let x: Vec<f32> = (0..8)
+                .map(|j| {
+                    let base = if j % 3 == class { 1.0 } else { 0.05 };
+                    base + ((i * 8 + j) % 11) as f32 * 0.01
+                })
+                .collect();
+            (x, class as f32)
+        })
+        .collect();
+    let mut source = MemoryDataSource::try_new("data", "label", items, 4)?;
+    let mut exec =
+        Executor::new(compile(&mlp(&cfg, &[10]).net, &OptLevel::full())?)?;
+    let mut solver = Sgd::new(SolverParams {
+        lr_policy: LrPolicy::Fixed { lr: 0.1 },
+        mom_policy: MomPolicy::None,
+        regu_coef: 0.0,
+        max_epoch: 3,
+    });
+    let ckpt = std::env::temp_dir().join("latte_fault_tolerance_example.ckpt");
+    let sup_cfg = SupervisorConfig {
+        checkpoint_every: 6,
+        ..SupervisorConfig::new(&ckpt)
+    };
+    let mut death = FaultPlan::new(vec![Fault::ProcessDeath { iter: 16 }]);
+    let sup_metrics = FaultMetrics::new();
+    let report = supervise(
+        &mut solver,
+        &mut exec,
+        &mut source,
+        &sup_cfg,
+        &mut death,
+        &sup_metrics,
+    )?;
+    println!(
+        "  loss {:.4} -> {:.4} over {} iterations, {} restart(s), resumed from {:?}",
+        report.initial_loss,
+        report.final_loss,
+        report.iterations,
+        report.restarts,
+        report.resumed_from
+    );
+    println!("  fault counters: {}", sup_metrics.snapshot());
+    let _ = std::fs::remove_file(&ckpt);
+    Ok(())
+}

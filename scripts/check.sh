@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local gate, mirroring .github/workflows/ci.yml.
+# All dependencies are vendored; the build never touches the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1, includes fault-injection end-to-end)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -199,7 +199,7 @@ fn lenet_learns_synthetic_mnist() {
     let model = lenet(&cfg);
     let compiled = compile(&model.net, &OptLevel::full()).unwrap();
     let mut exec = Executor::new(compiled).unwrap();
-    let mut source = MemoryDataSource::new("data", "label", synthetic_mnist(160, 4), 8);
+    let mut source = MemoryDataSource::try_new("data", "label", synthetic_mnist(160, 4), 8).unwrap();
     let mut sgd = Sgd::new(SolverParams {
         lr_policy: LrPolicy::Fixed { lr: 0.02 },
         mom_policy: MomPolicy::Fixed { mom: 0.9 },

@@ -1,0 +1,190 @@
+//! End-to-end fault-tolerance acceptance tests (tier-1): a simulated
+//! 4-node cluster surviving a node crash plus a straggler, and a
+//! single-node training run surviving a process death mid-epoch by
+//! resuming from the supervisor's checkpoint.
+
+use latte::core::{compile, OptLevel};
+use latte::nn::models::{mlp, ModelConfig};
+use latte::runtime::cluster::{
+    simulate_run, ClusterSpec, FaultPolicy, LayerProfile, NetworkModel, SyncMode,
+};
+use latte::runtime::data::MemoryDataSource;
+use latte::runtime::fault::{Fault, FaultPlan};
+use latte::runtime::metrics::FaultMetrics;
+use latte::runtime::solver::{solve, LrPolicy, MomPolicy, Sgd, SolverParams};
+use latte::runtime::supervisor::{supervise, SupervisorConfig};
+use latte::runtime::Executor;
+
+fn layers() -> Vec<LayerProfile> {
+    (0..6)
+        .map(|i| LayerProfile {
+            name: format!("layer{i}"),
+            fwd_ms_per_item: 0.2 / (i + 1) as f64,
+            bwd_ms_per_item: 0.4 / (i + 1) as f64,
+            fixed_ms: 0.3,
+            grad_bytes: [0.5e6, 2e6, 9e6, 9e6, 200e6, 16e6][i],
+        })
+        .collect()
+}
+
+/// A 4-node cluster hit by a mid-run node crash, a straggler phase, and
+/// a dropped gradient transfer recovers: the transfer is retried, the
+/// straggler is detected against the rolling estimate, and after the
+/// crash the all-reduce degrades to the lossy unsynchronized mode over
+/// the three survivors — with every event visible in the fault counters.
+#[test]
+fn cluster_survives_crash_straggler_and_dropped_transfer() {
+    let spec = ClusterSpec {
+        nodes: 4,
+        network: NetworkModel::infiniband_like(),
+    };
+    let plan = FaultPlan::new(vec![
+        Fault::TransferDrop { node: 0, iter: 2, layer: 4 },
+        Fault::Straggler { node: 1, from_iter: 4, to_iter: 7, factor: 4.0 },
+        Fault::NodeCrash { node: 2, iter: 8 },
+    ]);
+    let metrics = FaultMetrics::new();
+    let run = simulate_run(
+        &spec,
+        &layers(),
+        32,
+        12,
+        &plan,
+        &FaultPolicy::default(),
+        &metrics,
+    )
+    .unwrap();
+
+    assert_eq!(run.iterations.len(), 12);
+
+    // The dropped transfer costs a visible retry penalty but stays
+    // synchronized.
+    assert!(run.iterations[2].retry_penalty_ms > 0.0);
+    assert_eq!(run.iterations[2].mode, SyncMode::Synchronized);
+
+    // The straggler is detected while it is slow, and only then.
+    assert_eq!(run.iterations[5].stragglers, vec![1]);
+    assert!(run.iterations[3].stragglers.is_empty());
+    assert!(run.iterations[7].stragglers.is_empty());
+
+    // The crash removes node 2 from the ring and degrades the run to
+    // the lossy unsynchronized mode over the 3 survivors.
+    assert_eq!(run.iterations[7].live_nodes, 4);
+    assert_eq!(run.iterations[8].newly_dead, vec![2]);
+    assert_eq!(run.iterations[8].mode, SyncMode::LossyDegraded);
+    assert_eq!(run.iterations[8].live_nodes, 3);
+    assert_eq!(run.live_nodes, 3);
+    assert_eq!(run.final_mode, SyncMode::LossyDegraded);
+
+    // Degraded iterations no longer pay the straggler/sync barrier: the
+    // post-crash iteration is not slower than the synchronized baseline.
+    let healthy = run.iterations[1].total_ms;
+    let straggled = run.iterations[5].total_ms;
+    assert!(straggled > healthy, "sync mode pays for the straggler");
+
+    // Every event is visible through the metrics registry.
+    let snap = metrics.snapshot();
+    assert_eq!(snap.nodes_failed, 1);
+    assert_eq!(snap.transfers_dropped, 1);
+    assert_eq!(snap.retries, 1);
+    assert_eq!(snap.stragglers_detected, 1);
+    assert_eq!(snap.degraded_iterations, 4);
+    let text = snap.to_string();
+    assert!(text.contains("nodes_failed=1") && text.contains("retries=1"), "{text}");
+}
+
+fn build_exec(seed: u64) -> Executor {
+    let cfg = ModelConfig {
+        batch: 4,
+        input_size: 8,
+        channel_div: 1,
+        classes: 3,
+        with_loss: true,
+        seed,
+    };
+    Executor::new(compile(&mlp(&cfg, &[10]).net, &OptLevel::full()).unwrap()).unwrap()
+}
+
+fn training_source() -> MemoryDataSource {
+    let items: Vec<(Vec<f32>, f32)> = (0..40)
+        .map(|i| {
+            let class = i % 3;
+            let x: Vec<f32> = (0..8)
+                .map(|j| {
+                    let base = if j % 3 == class { 1.0 } else { 0.05 };
+                    base + ((i * 8 + j) % 11) as f32 * 0.01
+                })
+                .collect();
+            (x, class as f32)
+        })
+        .collect();
+    MemoryDataSource::try_new("data", "label", items, 4).unwrap()
+}
+
+fn training_params() -> SolverParams {
+    SolverParams {
+        lr_policy: LrPolicy::Fixed { lr: 0.1 },
+        // No momentum: the update rule is a pure function of weights and
+        // gradients, so recovery from a checkpoint is bit-exact.
+        mom_policy: MomPolicy::None,
+        regu_coef: 0.0,
+        max_epoch: 3,
+    }
+}
+
+/// Training killed mid-epoch resumes from the supervisor's checkpoint
+/// and reaches the same final loss as the fault-free run.
+#[test]
+fn supervisor_recovers_process_death_mid_epoch() {
+    // Fault-free baseline with the plain training loop.
+    let mut exec_base = build_exec(5);
+    let mut solver_base = Sgd::new(training_params());
+    let baseline = solve(&mut solver_base, &mut exec_base, &mut training_source()).unwrap();
+    assert!(
+        baseline.final_loss < baseline.initial_loss,
+        "baseline must learn: {baseline:?}"
+    );
+
+    // Supervised run killed mid-epoch (iteration 16 of 30; 10 iterations
+    // per epoch, checkpoints every 6).
+    let dir = std::env::temp_dir().join("latte_e2e_fault_tolerance");
+    let _ = std::fs::create_dir_all(&dir);
+    let cfg = SupervisorConfig {
+        checkpoint_every: 6,
+        ..SupervisorConfig::new(dir.join("ckpt.bin"))
+    };
+    let mut plan = FaultPlan::new(vec![Fault::ProcessDeath { iter: 16 }]);
+    let mut exec = build_exec(5);
+    let mut solver = Sgd::new(training_params());
+    let metrics = FaultMetrics::new();
+    let report = supervise(
+        &mut solver,
+        &mut exec,
+        &mut training_source(),
+        &cfg,
+        &mut plan,
+        &metrics,
+    )
+    .unwrap();
+
+    assert_eq!(report.restarts, 1);
+    // Last checkpoint before the death at 16 was at iteration 12, which
+    // is mid-epoch (epoch 1, iteration 2 of 10).
+    assert_eq!(report.resumed_from, vec![12]);
+    // 30 productive iterations plus the 5 replayed ones (12..=16).
+    assert_eq!(report.iterations, 35);
+
+    let rel = (report.final_loss - baseline.final_loss).abs() / baseline.final_loss.abs();
+    assert!(
+        rel < 1e-5,
+        "recovered loss {} must match fault-free loss {} (rel err {rel})",
+        report.final_loss,
+        baseline.final_loss
+    );
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.restores, 1);
+    assert!(snap.checkpoints_saved >= 5, "{snap:?}");
+    assert_eq!(snap.io_errors, 0);
+    let _ = std::fs::remove_file(&cfg.checkpoint_path);
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace
+//! uses: scoped threads (`crossbeam::scope`, `Scope::spawn`,
+//! `ScopedJoinHandle::join`), implemented on [`std::thread::scope`].
+//!
+//! Behavioral difference from upstream: a panicking child thread panics
+//! the calling thread when the scope joins (std semantics) instead of
+//! surfacing as `Err` from [`scope`] — every call site in this workspace
+//! immediately `expect`s the result, so the observable outcome is the
+//! same.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Result of joining a scope or a scoped thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handed to the [`scope`] closure; spawns borrow-carrying
+    /// threads that are joined before the scope returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a thread spawned inside a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope itself (crossbeam's signature), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; all spawned threads are joined before
+    /// this returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this stand-in (child panics propagate as
+    /// panics at join time instead).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_mutate_disjointly() {
+        let mut data = vec![0u32; 4];
+        let chunks: Vec<&mut [u32]> = data.chunks_mut(2).collect();
+        crate::scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (i * 2 + j) as u32 + 1;
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = crate::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().expect("child")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+}
