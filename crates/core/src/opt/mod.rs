@@ -2,6 +2,8 @@
 //! matching, loop tiling, cross-layer fusion, and parallelization.
 
 mod pattern;
+#[cfg(any(test, feature = "sabotage"))]
+pub mod sabotage;
 mod schedule;
 
 pub use pattern::pattern_match;

@@ -1,0 +1,139 @@
+//! Deliberately broken compiler transformations, for harness self-tests.
+//!
+//! A correctness harness that has never caught a bug proves nothing. The
+//! mutations here simulate the two classic ways an optimization pass goes
+//! wrong — a loop bound miscomputed during tiling, and a reduction extent
+//! dropped during GEMM pattern matching — so the `latte-oracle`
+//! differential harness can demonstrate that it *does* flag a
+//! miscompiled program (see its `sabotage_is_caught` tests).
+//!
+//! Gated behind the `sabotage` cargo feature (and `cfg(test)`): these
+//! functions mutate a compiled program into one that silently computes
+//! wrong answers, which is exactly what must never ship.
+
+use latte_ir::Stmt;
+
+use crate::program::Group;
+
+/// Shrinks the extent of the first tiled loop with extent > 1 by one,
+/// simulating an off-by-one in tile-count computation. Returns whether a
+/// loop was mutated.
+pub fn shrink_first_tiled_loop(groups: &mut [Group]) -> bool {
+    fn walk(stmts: &mut [Stmt]) -> bool {
+        for s in stmts {
+            if let Stmt::For(l) = s {
+                if l.annot.tiled.is_some() && l.extent > 1 {
+                    l.extent -= 1;
+                    return true;
+                }
+                if walk(&mut l.body) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    groups.iter_mut().any(|g| walk(&mut g.stmts))
+}
+
+/// Shrinks the reduction depth `k` of the first matched GEMM with `k > 1`
+/// by one, simulating a dropped fusion/pattern-match guard that loses the
+/// last accumulation term. Returns whether a GEMM was mutated.
+pub fn shrink_gemm_reduction(groups: &mut [Group]) -> bool {
+    fn walk(stmts: &mut [Stmt]) -> bool {
+        for s in stmts {
+            // collapsible_match suggests a pattern guard, but guards
+            // cannot take the &mut borrow `walk` needs.
+            #[allow(clippy::collapsible_match)]
+            match s {
+                Stmt::Gemm(g) if g.k > 1 => {
+                    g.k -= 1;
+                    return true;
+                }
+                Stmt::For(l) => {
+                    if walk(&mut l.body) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+    groups.iter_mut().any(|g| walk(&mut g.stmts))
+}
+
+/// Shrinks the extent of the first loop (tiled or not) with extent > 1,
+/// for programs compiled without tiling. Returns whether a loop was
+/// mutated.
+pub fn shrink_first_loop(groups: &mut [Group]) -> bool {
+    fn walk(stmts: &mut [Stmt]) -> bool {
+        for s in stmts {
+            if let Stmt::For(l) = s {
+                if l.extent > 1 {
+                    l.extent -= 1;
+                    return true;
+                }
+                if walk(&mut l.body) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    groups.iter_mut().any(|g| walk(&mut g.stmts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latte_ir::{Loop, LoopAnnot, Stmt, TileInfo};
+
+    fn group_with(stmts: Vec<Stmt>) -> Group {
+        Group {
+            name: "g".into(),
+            ensembles: Vec::new(),
+            phase: crate::program::Phase::Forward,
+            stmts,
+            barrier: false,
+            meta: Default::default(),
+        }
+    }
+
+    fn tiled_loop(extent: usize) -> Stmt {
+        Stmt::For(Loop {
+            var: "i".into(),
+            extent,
+            annot: LoopAnnot {
+                tiled: Some(TileInfo { tile_size: 2, dep_distance: 0 }),
+                ..Default::default()
+            },
+            body: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn shrinks_only_the_first_tiled_loop() {
+        let mut groups = vec![group_with(vec![
+            Stmt::For(Loop {
+                var: "o".into(),
+                extent: 4,
+                annot: LoopAnnot::default(),
+                body: vec![tiled_loop(3), tiled_loop(5)],
+            }),
+        ])];
+        assert!(shrink_first_tiled_loop(&mut groups));
+        let Stmt::For(outer) = &groups[0].stmts[0] else { unreachable!() };
+        assert_eq!(outer.extent, 4, "untiled outer loop must stay intact");
+        let Stmt::For(first) = &outer.body[0] else { unreachable!() };
+        let Stmt::For(second) = &outer.body[1] else { unreachable!() };
+        assert_eq!((first.extent, second.extent), (2, 5));
+    }
+
+    #[test]
+    fn reports_when_nothing_is_mutable() {
+        let mut groups = vec![group_with(vec![tiled_loop(1)])];
+        assert!(!shrink_first_tiled_loop(&mut groups));
+        assert!(!shrink_gemm_reduction(&mut groups));
+    }
+}

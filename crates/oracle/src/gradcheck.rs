@@ -1,0 +1,248 @@
+//! Finite-difference gradient checking against the reference interpreter.
+//!
+//! The differential harness ([`crate::diff`]) proves the optimizing
+//! compiler agrees with the unoptimized loop nests — but both could share
+//! a bug in the *synthesized backward pass itself*. This module closes
+//! that hole with the classic oracle: central finite differences on the
+//! forward loss,
+//!
+//! ```text
+//! dL/dw[i] ≈ (L(w[i] + h) − L(w[i] − h)) / 2h
+//! ```
+//!
+//! computed entirely through the interpreter, compared against the
+//! analytic gradients the backward pass produces. Both sides measure the
+//! derivative of the *mean* batch loss (the loss kernels scale gradients
+//! by `1/batch`, matching [`crate::Interpreter::loss`]), so no rescaling
+//! is needed.
+//!
+//! Parameters are always checked; input gradients are checked when
+//! [`GradCheckConfig::check_inputs`] is set (the net must then be
+//! compiled without `skip_data_grad` — [`check_gradients`] handles this).
+
+use latte_core::dsl::Net;
+use latte_core::{compile, OptLevel};
+use latte_ir::BufferKind;
+
+use crate::diff::DiffError;
+use crate::interp::Interpreter;
+
+/// Configuration for a finite-difference run.
+#[derive(Debug, Clone)]
+pub struct GradCheckConfig {
+    /// Central-difference step `h`.
+    pub step: f32,
+    /// Relative tolerance against `max(|analytic|, |numeric|)`.
+    pub rel_tol: f32,
+    /// Absolute tolerance for gradients near zero.
+    pub abs_tol: f32,
+    /// Cap on elements perturbed per gradient buffer (deterministically
+    /// strided across the buffer); `0` checks every element.
+    pub max_checks_per_buffer: usize,
+    /// Also check input (data) gradients, not just parameters.
+    pub check_inputs: bool,
+    /// Data ensembles excluded from input checking. Categorical inputs
+    /// (integer class labels fed as `f32`) belong here: the loss is a
+    /// *discontinuous* function of the class index, so finite
+    /// differences are meaningless even though the analytic gradient is
+    /// correctly zero.
+    pub skip_inputs: Vec<String>,
+}
+
+impl Default for GradCheckConfig {
+    fn default() -> Self {
+        GradCheckConfig {
+            // f32 central differences: h ~ cbrt(eps) scaled up for
+            // headroom against cancellation in deeper nets.
+            step: 1e-2,
+            rel_tol: 2e-2,
+            abs_tol: 1e-4,
+            max_checks_per_buffer: 24,
+            check_inputs: false,
+            skip_inputs: vec!["label".to_string()],
+        }
+    }
+}
+
+/// One gradient element where analytic and numeric derivatives disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradMismatch {
+    /// The gradient buffer (e.g. `fc1.g_weights`).
+    pub buffer: String,
+    /// Flat index into the buffer's full storage.
+    pub index: usize,
+    /// The backward pass's analytic gradient.
+    pub analytic: f32,
+    /// The central finite-difference estimate.
+    pub numeric: f32,
+}
+
+impl std::fmt::Display for GradMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}]: analytic {} vs numeric {} (diff {:e})",
+            self.buffer,
+            self.index,
+            self.analytic,
+            self.numeric,
+            (self.analytic - self.numeric).abs()
+        )
+    }
+}
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone, Default)]
+pub struct GradCheckReport {
+    /// Gradient buffers that were checked.
+    pub buffers_checked: Vec<String>,
+    /// Total elements perturbed.
+    pub elements_checked: usize,
+    /// Every out-of-tolerance element.
+    pub mismatches: Vec<GradMismatch>,
+}
+
+impl GradCheckReport {
+    /// Whether every checked element was within tolerance.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl std::fmt::Display for GradCheckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "gradient check over {} buffers / {} elements, {} mismatches",
+            self.buffers_checked.len(),
+            self.elements_checked,
+            self.mismatches.len()
+        )?;
+        for m in self.mismatches.iter().take(16) {
+            writeln!(f, "  {m}")?;
+        }
+        if self.mismatches.len() > 16 {
+            writeln!(f, "  … and {} more", self.mismatches.len() - 16)?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates the synthesized backward pass of `net` against central
+/// finite differences of the forward loss, both executed by the
+/// reference interpreter at `OptLevel::none()`.
+///
+/// `inputs` lists `(data ensemble name, batch-major values)` pairs; the
+/// net must end in at least one loss layer or every derivative is zero
+/// and the check is vacuous.
+///
+/// # Errors
+///
+/// Fails when compilation or interpretation errors out; gradient
+/// disagreement is reported via [`GradCheckReport::mismatches`], not as
+/// an error.
+pub fn check_gradients(
+    net: &Net,
+    inputs: &[(String, Vec<f32>)],
+    cfg: &GradCheckConfig,
+) -> Result<GradCheckReport, DiffError> {
+    let opt = OptLevel {
+        skip_data_grad: !cfg.check_inputs,
+        ..OptLevel::none()
+    };
+    let compiled = compile(net, &opt)?;
+    let mut interp = Interpreter::new(compiled)?;
+    for (ensemble, data) in inputs {
+        interp.set_input(ensemble, data)?;
+    }
+
+    // Analytic gradients from one forward + backward pass.
+    interp.forward()?;
+    interp.backward()?;
+
+    // (grad buffer, perturbed value buffer) pairs to check. Parameters
+    // come from the net's bindings; input gradients pair `x.grad` with
+    // the value buffer named by the input binding.
+    let mut targets: Vec<(String, String)> = interp
+        .compiled()
+        .params
+        .iter()
+        .map(|p| (p.grad.clone(), p.value.clone()))
+        .collect();
+    if cfg.check_inputs {
+        let grads: Vec<String> = interp
+            .compiled()
+            .buffers
+            .iter()
+            .filter(|d| d.kind == BufferKind::Grad && d.alias_of.is_none())
+            .map(|d| d.name.clone())
+            .collect();
+        for binding in &interp.compiled().inputs {
+            if cfg.skip_inputs.iter().any(|s| s == &binding.ensemble) {
+                continue;
+            }
+            let grad = latte_core::names::grad(&binding.ensemble);
+            if grads.contains(&grad) {
+                targets.push((grad, binding.buffer.clone()));
+            }
+        }
+    }
+
+    let mut report = GradCheckReport::default();
+    for (grad_buf, value_buf) in targets {
+        let analytic = interp.read_buffer(&grad_buf)?;
+        let baseline = interp.read_buffer(&value_buf)?;
+        if analytic.len() != baseline.len() {
+            // Parameter gradients are unbatched while input values are
+            // batched per item; for inputs both are batched. A length
+            // mismatch here means the pairing above is wrong — surface
+            // it loudly rather than checking garbage.
+            return Err(DiffError::Runtime(latte_runtime::RuntimeError::Malformed {
+                detail: format!(
+                    "gradient buffer `{grad_buf}` ({}) does not match value buffer `{value_buf}` ({})",
+                    analytic.len(),
+                    baseline.len()
+                ),
+            }));
+        }
+        let n = baseline.len();
+        let checks = if cfg.max_checks_per_buffer == 0 {
+            n
+        } else {
+            n.min(cfg.max_checks_per_buffer)
+        };
+        // Deterministic stride covering the whole buffer.
+        let stride = n.div_ceil(checks).max(1);
+        report.buffers_checked.push(grad_buf.clone());
+        for i in (0..n).step_by(stride) {
+            let mut plus = baseline.clone();
+            plus[i] += cfg.step;
+            interp.write_buffer(&value_buf, &plus)?;
+            interp.forward()?;
+            let l_plus = interp.loss();
+
+            let mut minus = baseline.clone();
+            minus[i] -= cfg.step;
+            interp.write_buffer(&value_buf, &minus)?;
+            interp.forward()?;
+            let l_minus = interp.loss();
+
+            interp.write_buffer(&value_buf, &baseline)?;
+            let numeric = (l_plus - l_minus) / (2.0 * cfg.step);
+            let a = analytic[i];
+            report.elements_checked += 1;
+            let diff = (a - numeric).abs();
+            if diff > cfg.abs_tol && diff > cfg.rel_tol * a.abs().max(numeric.abs()) {
+                report.mismatches.push(GradMismatch {
+                    buffer: grad_buf.clone(),
+                    index: i,
+                    analytic: a,
+                    numeric,
+                });
+            }
+        }
+    }
+    // Leave the interpreter consistent with the unperturbed state.
+    interp.forward()?;
+    Ok(report)
+}

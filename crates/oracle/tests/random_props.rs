@@ -1,0 +1,37 @@
+//! Property tests: seeded random networks through the full differential
+//! matrix. The per-PR run keeps the case count small; the nightly CI
+//! `test-matrix` job raises it via the `PROPTEST_CASES` environment
+//! variable (see `.github/workflows/ci.yml`).
+
+use latte_oracle::{diff_against_oracle, random_net, standard_configs, Tolerance};
+use proptest::prelude::*;
+
+/// The case count, overridable by CI: `PROPTEST_CASES=64` runs a deeper
+/// sweep on the nightly schedule.
+fn proptest_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(6)))]
+
+    #[test]
+    fn random_nets_match_oracle_under_all_configs(seed in 0u64..1_000_000) {
+        let rn = random_net(seed);
+        let report = diff_against_oracle(
+            &rn.net,
+            &rn.inputs,
+            &standard_configs(),
+            &Tolerance::default(),
+        );
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::Fail(format!("{}: {e}", rn.description))),
+        };
+        prop_assert!(report.buffers_compared > 0, "{}: vacuous comparison", rn.description);
+        prop_assert!(report.is_clean(), "{}\n{report}", rn.description);
+    }
+}

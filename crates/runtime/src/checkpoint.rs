@@ -2,11 +2,17 @@
 //! saving and restoring trained weights, hardened for crash-safety.
 //!
 //! Layout (version 2): magic `LATTEwt2`, a little-endian u32 flags word
-//! (bit 0: training metadata present), optional metadata (epoch u64,
-//! global iteration u64, iteration-within-epoch u64, last loss f32),
-//! a u32 entry count, then per entry a u32 name length, the UTF-8
-//! buffer name, a u32 element count, and the raw little-endian f32
-//! data; finally a CRC32 (IEEE) of everything after the magic.
+//! (bit 0: training metadata present; bit 1: solver state present),
+//! optional metadata (epoch u64, global iteration u64,
+//! iteration-within-epoch u64, last loss f32), a u32 entry count, then
+//! per entry a u32 name length, the UTF-8 buffer name, a u32 element
+//! count, and the raw little-endian f32 data; when bit 1 is set, a
+//! solver-state section (u32 kind length + UTF-8 kind tag, iteration
+//! u64, u32 group count, per group a u32 name length + UTF-8 name, a
+//! u32 vector count, and per vector a u32 element count + raw
+//! little-endian f32 data); finally a CRC32 (IEEE) of everything after
+//! the magic. The solver section trails the weight entries, so readers
+//! that only want weights ([`load_checkpoint`]) skip it for free.
 //!
 //! Writes are **atomic**: the payload is serialized to a sibling
 //! temporary file, synced, and `rename`d into place, so a crash
@@ -19,10 +25,12 @@ use std::path::Path;
 
 use crate::error::RuntimeError;
 use crate::exec::Executor;
+use crate::solver::SolverState;
 
 const MAGIC: &[u8; 8] = b"LATTEwt2";
 const MAGIC_V1: &[u8; 8] = b"LATTEwts";
 const FLAG_HAS_META: u32 = 1;
+const FLAG_HAS_SOLVER: u32 = 2;
 
 /// Training-progress metadata stored alongside the weights, used by the
 /// supervisor to resume mid-run.
@@ -76,17 +84,42 @@ pub fn save_checkpoint(
     meta: Option<&CheckpointMeta>,
     path: impl AsRef<Path>,
 ) -> Result<(), RuntimeError> {
+    save_checkpoint_full(exec, meta, None, path)
+}
+
+/// Serializes parameters, optional training metadata, and optional
+/// solver state (momentum/accumulator buffers from
+/// [`crate::solver::Solver::export_state`]) in one atomic checkpoint.
+///
+/// With the solver state restored via [`load_checkpoint_full`] +
+/// [`crate::solver::Solver::import_state`], a stateful solver resumes on
+/// the *bit-exact* update trajectory it would have followed without the
+/// interruption.
+///
+/// # Errors
+///
+/// See [`save_checkpoint`].
+pub fn save_checkpoint_full(
+    exec: &Executor,
+    meta: Option<&CheckpointMeta>,
+    solver: Option<&SolverState>,
+    path: impl AsRef<Path>,
+) -> Result<(), RuntimeError> {
     let path = path.as_ref();
+    let mut flags = 0u32;
+    if meta.is_some() {
+        flags |= FLAG_HAS_META;
+    }
+    if solver.is_some() {
+        flags |= FLAG_HAS_SOLVER;
+    }
     let mut payload = Vec::new();
-    match meta {
-        Some(m) => {
-            payload.extend_from_slice(&FLAG_HAS_META.to_le_bytes());
-            payload.extend_from_slice(&m.epoch.to_le_bytes());
-            payload.extend_from_slice(&m.iteration.to_le_bytes());
-            payload.extend_from_slice(&m.epoch_iter.to_le_bytes());
-            payload.extend_from_slice(&m.loss.to_le_bytes());
-        }
-        None => payload.extend_from_slice(&0u32.to_le_bytes()),
+    payload.extend_from_slice(&flags.to_le_bytes());
+    if let Some(m) = meta {
+        payload.extend_from_slice(&m.epoch.to_le_bytes());
+        payload.extend_from_slice(&m.iteration.to_le_bytes());
+        payload.extend_from_slice(&m.epoch_iter.to_le_bytes());
+        payload.extend_from_slice(&m.loss.to_le_bytes());
     }
     let names: Vec<String> = exec.params().iter().map(|p| p.value.clone()).collect();
     payload.extend_from_slice(&(names.len() as u32).to_le_bytes());
@@ -97,6 +130,23 @@ pub fn save_checkpoint(
         payload.extend_from_slice(&(data.len() as u32).to_le_bytes());
         for v in &data {
             payload.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    if let Some(s) = solver {
+        payload.extend_from_slice(&(s.kind.len() as u32).to_le_bytes());
+        payload.extend_from_slice(s.kind.as_bytes());
+        payload.extend_from_slice(&s.iter.to_le_bytes());
+        payload.extend_from_slice(&(s.groups.len() as u32).to_le_bytes());
+        for (group, vecs) in &s.groups {
+            payload.extend_from_slice(&(group.len() as u32).to_le_bytes());
+            payload.extend_from_slice(group.as_bytes());
+            payload.extend_from_slice(&(vecs.len() as u32).to_le_bytes());
+            for v in vecs {
+                payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    payload.extend_from_slice(&x.to_le_bytes());
+                }
+            }
         }
     }
     let crc = crc32(&payload);
@@ -145,6 +195,21 @@ pub fn load_checkpoint(
     exec: &mut Executor,
     path: impl AsRef<Path>,
 ) -> Result<Option<CheckpointMeta>, RuntimeError> {
+    load_checkpoint_full(exec, path).map(|(meta, _)| meta)
+}
+
+/// Restores parameters and returns both the training metadata and the
+/// solver state, when present. Pass the state to
+/// [`crate::solver::Solver::import_state`] to resume a stateful solver
+/// bit-exactly.
+///
+/// # Errors
+///
+/// See [`load_checkpoint`].
+pub fn load_checkpoint_full(
+    exec: &mut Executor,
+    path: impl AsRef<Path>,
+) -> Result<(Option<CheckpointMeta>, Option<SolverState>), RuntimeError> {
     let path = path.as_ref();
     let bytes = std::fs::read(path)
         .map_err(|e| RuntimeError::io(format!("reading checkpoint `{}`", path.display()), e))?;
@@ -211,7 +276,41 @@ pub fn load_checkpoint(
             .collect();
         exec.write_buffer(&name, &data)?;
     }
-    Ok(meta)
+    let solver = if flags & FLAG_HAS_SOLVER != 0 {
+        let kind_len = cur.u32()? as usize;
+        let kind = String::from_utf8(cur.take(kind_len)?.to_vec()).map_err(|_| {
+            RuntimeError::Malformed {
+                detail: "checkpoint contains a non-UTF-8 solver kind".to_string(),
+            }
+        })?;
+        let iter = cur.u64()?;
+        let group_count = cur.u32()? as usize;
+        let mut groups = Vec::with_capacity(group_count);
+        for _ in 0..group_count {
+            let name_len = cur.u32()? as usize;
+            let name = String::from_utf8(cur.take(name_len)?.to_vec()).map_err(|_| {
+                RuntimeError::Malformed {
+                    detail: "checkpoint contains a non-UTF-8 solver group name".to_string(),
+                }
+            })?;
+            let vec_count = cur.u32()? as usize;
+            let mut vecs = Vec::with_capacity(vec_count);
+            for _ in 0..vec_count {
+                let len = cur.u32()? as usize;
+                let raw = cur.take(len * 4)?;
+                vecs.push(
+                    raw.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect(),
+                );
+            }
+            groups.push((name, vecs));
+        }
+        Some(SolverState { kind, iter, groups })
+    } else {
+        None
+    };
+    Ok((meta, solver))
 }
 
 /// Sibling temporary path used by the atomic write. Exposed for tests
@@ -431,6 +530,39 @@ mod tests {
             }
             other => panic!("expected Io error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn solver_state_roundtrips() {
+        let path = temp_dir("solver").join("s.bin");
+        let exec = build();
+        let state = SolverState {
+            kind: "sgd".into(),
+            iter: 42,
+            groups: vec![("velocity".into(), vec![vec![0.5, -0.25], vec![], vec![1.0]])],
+        };
+        let meta = CheckpointMeta {
+            epoch: 1,
+            iteration: 42,
+            epoch_iter: 2,
+            loss: 0.125,
+        };
+        save_checkpoint_full(&exec, Some(&meta), Some(&state), &path).unwrap();
+
+        let mut b = build();
+        let (restored_meta, restored_state) = load_checkpoint_full(&mut b, &path).unwrap();
+        assert_eq!(restored_meta, Some(meta));
+        assert_eq!(restored_state, Some(state));
+
+        // Weight-only readers skip the trailing solver section.
+        let mut c = build();
+        assert_eq!(load_checkpoint(&mut c, &path).unwrap(), Some(meta));
+
+        // A checkpoint without solver state restores None.
+        save_checkpoint(&exec, Some(&meta), &path).unwrap();
+        let (_, none_state) = load_checkpoint_full(&mut b, &path).unwrap();
+        assert_eq!(none_state, None);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -855,6 +855,137 @@ mod tests {
     }
 
     #[test]
+    fn single_node_ring_straggles_without_communication() {
+        use crate::fault::Fault;
+        // With one node the "ring" is trivial: no communication ever, and
+        // the median observation used for the rolling estimate IS the
+        // straggling node, so the estimate self-poisons after a couple of
+        // slow iterations and detection drops out mid-phase.
+        let spec = ClusterSpec {
+            nodes: 1,
+            network: NetworkModel::infiniband_like(),
+        };
+        let metrics = FaultMetrics::new();
+        let plan = FaultPlan::new(vec![Fault::Straggler {
+            node: 0,
+            from_iter: 3,
+            to_iter: 6,
+            factor: 4.0,
+        }]);
+        let run = simulate_run(
+            &spec,
+            &vgg_like_layers(),
+            64,
+            8,
+            &plan,
+            &FaultPolicy::default(),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(run.iterations.len(), 8);
+        assert_eq!(run.live_nodes, 1);
+        assert_eq!(run.final_mode, SyncMode::Synchronized);
+        for r in &run.iterations {
+            assert_eq!(r.comm_ms, 0.0, "one node has nobody to reduce with");
+            assert_eq!(r.exposed_comm_ms, 0.0);
+            assert_eq!(r.live_nodes, 1);
+        }
+        // Detection fires against the healthy history (est = h, observed
+        // 4h > 2h)...
+        assert_eq!(run.iterations[3].stragglers, vec![0]);
+        // ...survives one EWMA fold (est = 1.9h, 4h > 3.8h)...
+        assert_eq!(run.iterations[4].stragglers, vec![0]);
+        // ...then the straggled medians have dragged the estimate past
+        // the threshold (est = 2.53h, 4h < 5.06h): still slow, no longer
+        // flagged. One detection for the whole phase.
+        assert!(run.iterations[5].stragglers.is_empty());
+        assert!(run.iterations[6].stragglers.is_empty(), "healthy again");
+        assert_eq!(metrics.snapshot().stragglers_detected, 1);
+        // The slowdown itself is real regardless of flagging.
+        let healthy = run.iterations[1].total_ms;
+        assert!(run.iterations[5].total_ms > 2.0 * healthy);
+    }
+
+    #[test]
+    fn single_node_crash_ends_the_run() {
+        use crate::fault::Fault;
+        let spec = ClusterSpec {
+            nodes: 1,
+            network: NetworkModel::infiniband_like(),
+        };
+        let metrics = FaultMetrics::new();
+        let plan = FaultPlan::new(vec![Fault::NodeCrash { node: 0, iter: 2 }]);
+        let run = simulate_run(
+            &spec,
+            &vgg_like_layers(),
+            64,
+            5,
+            &plan,
+            &FaultPolicy::default(),
+            &metrics,
+        )
+        .unwrap();
+        // Nothing survives to run iteration 2; the trace truncates there.
+        assert_eq!(run.iterations.len(), 2);
+        assert_eq!(run.live_nodes, 0);
+        assert_eq!(metrics.snapshot().nodes_failed, 1);
+    }
+
+    #[test]
+    fn all_nodes_straggling_poisons_the_median_and_suppresses_detection() {
+        use crate::fault::Fault;
+        // The rolling estimate folds the *median* live node so that one
+        // straggler cannot poison the baseline — but when every node
+        // straggles the median is the straggled time, the estimate chases
+        // it, and detection goes quiet while the cluster is still slow.
+        let spec = ClusterSpec {
+            nodes: 4,
+            network: NetworkModel::infiniband_like(),
+        };
+        let metrics = FaultMetrics::new();
+        let faults = (0..4)
+            .map(|node| Fault::Straggler {
+                node,
+                from_iter: 4,
+                to_iter: 9,
+                factor: 4.0,
+            })
+            .collect();
+        let plan = FaultPlan::new(faults);
+        let run = simulate_run(
+            &spec,
+            &vgg_like_layers(),
+            64,
+            10,
+            &plan,
+            &FaultPolicy::default(),
+            &metrics,
+        )
+        .unwrap();
+        assert!(run.iterations[3].stragglers.is_empty());
+        // First two slow iterations: flagged against the healthy history.
+        assert_eq!(run.iterations[4].stragglers, vec![0, 1, 2, 3]);
+        assert_eq!(run.iterations[5].stragglers, vec![0, 1, 2, 3]);
+        // From the third slow iteration the EWMA has absorbed the
+        // straggled median (est = 2.53h, threshold 2x) and every node
+        // looks "normal" again — detection suppressed, not recovery.
+        assert!(run.iterations[6].stragglers.is_empty());
+        assert!(run.iterations[8].stragglers.is_empty());
+        let healthy = run.iterations[2].total_ms;
+        assert!(
+            run.iterations[8].total_ms > 2.0 * healthy,
+            "iteration is still gated by the slowdown: {} vs {}",
+            run.iterations[8].total_ms,
+            healthy
+        );
+        // One detection per node for the phase, no deaths, mode intact.
+        assert_eq!(metrics.snapshot().stragglers_detected, 4);
+        assert_eq!(metrics.snapshot().nodes_failed, 0);
+        assert_eq!(run.final_mode, SyncMode::Synchronized);
+        assert_eq!(run.live_nodes, 4);
+    }
+
+    #[test]
     fn transfer_faults_cost_retries_and_exhaustion_kills_the_sender() {
         use crate::fault::Fault;
         let spec = ClusterSpec {

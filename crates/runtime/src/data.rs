@@ -69,25 +69,6 @@ impl MemoryDataSource {
         })
     }
 
-    /// Panicking shim kept for old callers; use [`MemoryDataSource::try_new`].
-    ///
-    /// # Panics
-    ///
-    /// Panics when `batch` is zero or there are fewer items than one
-    /// batch.
-    #[deprecated(since = "0.1.0", note = "use `try_new`, which reports errors instead of panicking")]
-    pub fn new(
-        input_name: impl Into<String>,
-        label_name: impl Into<String>,
-        items: Vec<(Vec<f32>, f32)>,
-        batch: usize,
-    ) -> Self {
-        match Self::try_new(input_name, label_name, items, batch) {
-            Ok(s) => s,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Number of full batches per epoch.
     pub fn batches_per_epoch(&self) -> usize {
         self.items.len() / self.batch
@@ -361,17 +342,6 @@ mod tests {
         assert!(err.to_string().contains("non-zero"), "{err}");
         let err = MemoryDataSource::try_new("data", "label", items(2), 3).unwrap_err();
         assert!(err.to_string().contains("full batch"), "{err}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_shim_still_panics_on_bad_config() {
-        let ok = MemoryDataSource::new("data", "label", items(6), 3);
-        assert_eq!(ok.batches_per_epoch(), 2);
-        let panicked = std::panic::catch_unwind(|| {
-            MemoryDataSource::new("data", "label", items(2), 3)
-        });
-        assert!(panicked.is_err());
     }
 
     #[test]

@@ -313,4 +313,58 @@ mod tests {
         assert!(plan.take_io_error(2));
         assert!(!plan.take_io_error(2));
     }
+
+    #[test]
+    fn duplicate_identical_faults_each_fire_once() {
+        // Two deaths scheduled for the same iteration model "the restarted
+        // process is killed again at the same point": the first attempt
+        // consumes one, the retry consumes the other, the third replay of
+        // that iteration survives.
+        let mut plan = FaultPlan::new(vec![
+            Fault::ProcessDeath { iter: 3 },
+            Fault::ProcessDeath { iter: 3 },
+        ]);
+        assert!(plan.take_process_death(3), "first attempt dies");
+        assert!(plan.take_process_death(3), "restart dies again");
+        assert!(!plan.take_process_death(3), "second restart survives");
+    }
+
+    #[test]
+    fn consumed_faults_stay_consumed_across_restart_attempts() {
+        // The supervisor reuses one plan object across restore attempts;
+        // a fault consumed before the crash must not re-fire when the
+        // restarted attempt replays the same iterations.
+        let mut plan = FaultPlan::new(vec![
+            Fault::IoError { iter: 2 },
+            Fault::ProcessDeath { iter: 4 },
+        ]);
+        // Attempt 1: iterations 0..=4.
+        for iter in 0..=4u64 {
+            let io = plan.take_io_error(iter);
+            assert_eq!(io, iter == 2);
+            if plan.take_process_death(iter) {
+                assert_eq!(iter, 4);
+                break;
+            }
+        }
+        // Attempt 2 replays iterations 0..=4 after the restore: neither
+        // the I/O error nor the death fires again.
+        for iter in 0..=4u64 {
+            assert!(!plan.take_io_error(iter), "io error re-fired at {iter}");
+            assert!(!plan.take_process_death(iter), "death re-fired at {iter}");
+        }
+    }
+
+    #[test]
+    fn take_once_is_keyed_by_iteration_not_order() {
+        let mut plan = FaultPlan::new(vec![
+            Fault::IoError { iter: 7 },
+            Fault::IoError { iter: 2 },
+        ]);
+        // Consuming the later iteration first leaves the earlier intact.
+        assert!(plan.take_io_error(7));
+        assert!(plan.take_io_error(2));
+        assert!(!plan.take_io_error(7));
+        assert!(!plan.take_io_error(2));
+    }
 }

@@ -36,6 +36,32 @@ pub struct ExternInvocation<'a> {
 }
 
 impl<'a> ExternInvocation<'a> {
+    /// Builds an invocation over caller-provided buffer views.
+    ///
+    /// The executor constructs invocations internally from its lowered
+    /// plan; this constructor is the hook external drivers (notably the
+    /// `latte-oracle` reference interpreter) use to run registered kernels
+    /// over their own storage. `bufs` must follow the kernel's declared
+    /// buffer order, with batched buffers already sliced to `item` for
+    /// per-item calls.
+    pub fn new(
+        attrs: &'a BTreeMap<String, f64>,
+        batch: usize,
+        item: Option<usize>,
+        per_item: Vec<usize>,
+        batched: Vec<bool>,
+        bufs: Vec<&'a mut [f32]>,
+    ) -> Self {
+        ExternInvocation {
+            attrs,
+            batch,
+            item,
+            per_item,
+            batched,
+            bufs,
+        }
+    }
+
     /// Read access to buffer `i` (sliced to the current item for per-item
     /// calls).
     ///

@@ -99,6 +99,52 @@ impl Default for SolverParams {
     }
 }
 
+/// A snapshot of a solver's mutable state: the iteration counter plus
+/// every per-parameter accumulator, named so a checkpoint written by one
+/// solver kind is rejected when restored into another.
+///
+/// Produced by [`Solver::export_state`], persisted by
+/// [`crate::checkpoint::save_checkpoint_full`], and replayed by
+/// [`Solver::import_state`] — the round trip is bit-exact, so a stateful
+/// solver (momentum, RMS accumulators) resumes on the identical update
+/// trajectory after a restart.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverState {
+    /// Solver kind tag (`"sgd"`, `"rmsprop"`, …); empty for stateless
+    /// solvers.
+    pub kind: String,
+    /// Iterations already applied (drives the LR/momentum schedules).
+    pub iter: u64,
+    /// Named accumulator groups, each holding one vector per parameter
+    /// in executor parameter order.
+    pub groups: Vec<(String, Vec<Vec<f32>>)>,
+}
+
+impl SolverState {
+    fn group(&self, name: &str, kind: &str) -> Result<Vec<Vec<f32>>, RuntimeError> {
+        self.groups
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| RuntimeError::InvalidConfig {
+                detail: format!("solver state for `{kind}` lacks the `{name}` group"),
+            })
+    }
+
+    fn expect_kind(&self, kind: &str) -> Result<(), RuntimeError> {
+        if self.kind == kind {
+            Ok(())
+        } else {
+            Err(RuntimeError::InvalidConfig {
+                detail: format!(
+                    "checkpoint holds `{}` solver state, cannot restore into `{kind}`",
+                    self.kind
+                ),
+            })
+        }
+    }
+}
+
 /// A parameter-update rule.
 ///
 /// Implementations hold per-parameter state (momentum, squared-gradient
@@ -111,6 +157,31 @@ pub trait Solver {
     /// Applies one update step to every parameter of the executor, using
     /// the gradients of the last backward pass.
     fn step(&mut self, exec: &mut Executor);
+
+    /// Snapshots the solver's mutable state for checkpointing.
+    ///
+    /// The default (for stateless update rules) is an empty state.
+    fn export_state(&self) -> SolverState {
+        SolverState::default()
+    }
+
+    /// Restores state captured by [`Solver::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the state was exported by a different solver kind.
+    fn import_state(&mut self, state: &SolverState) -> Result<(), RuntimeError> {
+        if state.kind.is_empty() && state.groups.is_empty() {
+            Ok(())
+        } else {
+            Err(RuntimeError::InvalidConfig {
+                detail: format!(
+                    "this solver is stateless but the checkpoint holds `{}` state",
+                    state.kind
+                ),
+            })
+        }
+    }
 }
 
 fn ensure_state(state: &mut Vec<Vec<f32>>, idx: usize, len: usize) -> &mut Vec<f32> {
@@ -165,6 +236,21 @@ impl Solver for Sgd {
         });
         self.iter += 1;
     }
+
+    fn export_state(&self) -> SolverState {
+        SolverState {
+            kind: "sgd".into(),
+            iter: self.iter as u64,
+            groups: vec![("velocity".into(), self.velocity.clone())],
+        }
+    }
+
+    fn import_state(&mut self, state: &SolverState) -> Result<(), RuntimeError> {
+        state.expect_kind("sgd")?;
+        self.iter = state.iter as usize;
+        self.velocity = state.group("velocity", "sgd")?;
+        Ok(())
+    }
 }
 
 /// RMSProp (Tieleman & Hinton): per-weight rates from a running average
@@ -214,6 +300,21 @@ impl Solver for RmsProp {
         });
         self.iter += 1;
     }
+
+    fn export_state(&self) -> SolverState {
+        SolverState {
+            kind: "rmsprop".into(),
+            iter: self.iter as u64,
+            groups: vec![("ms".into(), self.ms.clone())],
+        }
+    }
+
+    fn import_state(&mut self, state: &SolverState) -> Result<(), RuntimeError> {
+        state.expect_kind("rmsprop")?;
+        self.iter = state.iter as usize;
+        self.ms = state.group("ms", "rmsprop")?;
+        Ok(())
+    }
 }
 
 /// AdaGrad (Duchi et al.): per-weight rates from the accumulated squared
@@ -260,6 +361,21 @@ impl Solver for AdaGrad {
             }
         });
         self.iter += 1;
+    }
+
+    fn export_state(&self) -> SolverState {
+        SolverState {
+            kind: "adagrad".into(),
+            iter: self.iter as u64,
+            groups: vec![("acc".into(), self.acc.clone())],
+        }
+    }
+
+    fn import_state(&mut self, state: &SolverState) -> Result<(), RuntimeError> {
+        state.expect_kind("adagrad")?;
+        self.iter = state.iter as usize;
+        self.acc = state.group("acc", "adagrad")?;
+        Ok(())
     }
 }
 
@@ -322,6 +438,25 @@ impl Solver for AdaDelta {
             }
         });
         self.iter += 1;
+    }
+
+    fn export_state(&self) -> SolverState {
+        SolverState {
+            kind: "adadelta".into(),
+            iter: self.iter as u64,
+            groups: vec![
+                ("acc_grad".into(), self.acc_grad.clone()),
+                ("acc_update".into(), self.acc_update.clone()),
+            ],
+        }
+    }
+
+    fn import_state(&mut self, state: &SolverState) -> Result<(), RuntimeError> {
+        state.expect_kind("adadelta")?;
+        self.iter = state.iter as usize;
+        self.acc_grad = state.group("acc_grad", "adadelta")?;
+        self.acc_update = state.group("acc_update", "adadelta")?;
+        Ok(())
     }
 }
 
@@ -411,5 +546,38 @@ mod tests {
         ensure_state(&mut s, 2, 4);
         assert_eq!(s.len(), 3);
         assert_eq!(s[2].len(), 4);
+    }
+
+    #[test]
+    fn solver_state_round_trips_bit_exactly() {
+        let mut sgd = Sgd::new(SolverParams::default());
+        sgd.iter = 7;
+        sgd.velocity = vec![vec![0.25, -0.5], vec![1.0]];
+        let state = sgd.export_state();
+        assert_eq!(state.kind, "sgd");
+        assert_eq!(state.iter, 7);
+        let mut fresh = Sgd::new(SolverParams::default());
+        fresh.import_state(&state).unwrap();
+        assert_eq!(fresh.iter, 7);
+        assert_eq!(fresh.velocity, sgd.velocity);
+        assert_eq!(fresh.export_state(), state);
+
+        let mut ad = AdaDelta::new(SolverParams::default(), 0.95, 1e-6);
+        ad.iter = 3;
+        ad.acc_grad = vec![vec![0.125]];
+        ad.acc_update = vec![vec![0.5]];
+        let state = ad.export_state();
+        let mut fresh = AdaDelta::new(SolverParams::default(), 0.95, 1e-6);
+        fresh.import_state(&state).unwrap();
+        assert_eq!(fresh.export_state(), state);
+    }
+
+    #[test]
+    fn import_rejects_foreign_solver_state() {
+        let sgd = Sgd::new(SolverParams::default());
+        let state = sgd.export_state();
+        let mut rms = RmsProp::new(SolverParams::default(), 0.9, 1e-8);
+        let err = rms.import_state(&state).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig { .. }));
     }
 }

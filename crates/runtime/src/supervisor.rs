@@ -15,18 +15,19 @@
 //! the previous checkpoint stays valid, the failure is counted in
 //! [`FaultMetrics::io_errors`], and training continues.
 //!
-//! What is deliberately **not** checkpointed: solver state (momentum /
-//! squared-gradient accumulators) and the solver's internal iteration
-//! counter. Restoring them would double the checkpoint size for a
-//! quantity that decays quickly; after a restore the solver warms its
-//! state back up from zero, exactly like the paper's cluster runs
-//! restarting from saved weights. Runs that need bit-identical recovery
-//! should train with `MomPolicy::None` (then the update rule is a pure
-//! function of the restored weights and gradients).
+//! Solver state (momentum / squared-gradient accumulators and the
+//! solver's internal iteration counter) is checkpointed alongside the
+//! weights via [`crate::solver::Solver::export_state`] and re-imported on
+//! restore, so stateful solvers (SGD + momentum, RMSProp, AdaGrad,
+//! AdaDelta) resume on the **bit-exact** update trajectory they would
+//! have followed without the interruption — the
+//! `process_death_recovers_from_checkpoint` test asserts exact
+//! `final_loss` equality against an uninterrupted run under
+//! `MomPolicy::Fixed`.
 
 use std::path::PathBuf;
 
-use crate::checkpoint::{load_checkpoint, save_checkpoint, CheckpointMeta};
+use crate::checkpoint::{load_checkpoint_full, save_checkpoint_full, CheckpointMeta};
 use crate::data::BatchSource;
 use crate::error::RuntimeError;
 use crate::exec::Executor;
@@ -143,7 +144,12 @@ pub fn supervise(
         epoch_iter: 0,
         loss: 0.0,
     };
-    save_checkpoint(exec, Some(&initial_meta), &cfg.checkpoint_path)?;
+    save_checkpoint_full(
+        exec,
+        Some(&initial_meta),
+        Some(&solver.export_state()),
+        &cfg.checkpoint_path,
+    )?;
     FaultMetrics::bump(&metrics.checkpoints_saved);
 
     loop {
@@ -151,7 +157,7 @@ pub fn supervise(
             Ok(()) => break,
             Err(e) if is_recoverable(&e) && restarts < cfg.max_restarts => {
                 restarts += 1;
-                restore(exec, source, cfg, &mut st)?;
+                restore(solver, exec, source, cfg, &mut st)?;
                 FaultMetrics::bump(&metrics.restores);
                 resumed_from.push(st.global_iter);
             }
@@ -232,7 +238,12 @@ fn run_attempt(
                         epoch_iter: st.epoch_iter,
                         loss: reference,
                     };
-                    match save_checkpoint(exec, Some(&meta), &cfg.checkpoint_path) {
+                    match save_checkpoint_full(
+                        exec,
+                        Some(&meta),
+                        Some(&solver.export_state()),
+                        &cfg.checkpoint_path,
+                    ) {
                         Ok(()) => FaultMetrics::bump(&metrics.checkpoints_saved),
                         Err(RuntimeError::Io { .. }) => {
                             FaultMetrics::bump(&metrics.io_errors);
@@ -254,15 +265,18 @@ fn run_attempt(
     Ok(())
 }
 
-/// Loads the last checkpoint, verifies loss continuity, and rewinds `st`
-/// to the checkpointed position.
+/// Loads the last checkpoint, re-imports the solver's accumulator state,
+/// verifies loss continuity, and rewinds `st` to the checkpointed
+/// position.
 fn restore(
+    solver: &mut dyn Solver,
     exec: &mut Executor,
     source: &mut dyn BatchSource,
     cfg: &SupervisorConfig,
     st: &mut TrainState,
 ) -> Result<(), RuntimeError> {
-    let meta = load_checkpoint(exec, &cfg.checkpoint_path)?.ok_or_else(|| {
+    let (meta, solver_state) = load_checkpoint_full(exec, &cfg.checkpoint_path)?;
+    let meta = meta.ok_or_else(|| {
         RuntimeError::Malformed {
             detail: format!(
                 "checkpoint `{}` has no training metadata; cannot resume from it",
@@ -270,6 +284,9 @@ fn restore(
             ),
         }
     })?;
+    if let Some(state) = &solver_state {
+        solver.import_state(state)?;
+    }
 
     if meta.epoch_iter > 0 {
         // Replay forward on the exact batch the checkpoint was taken on;
@@ -352,9 +369,10 @@ mod tests {
     fn params(epochs: usize) -> SolverParams {
         SolverParams {
             lr_policy: LrPolicy::Fixed { lr: 0.05 },
-            // Momentum is not checkpointed; keep the update rule pure so
-            // recovery is bit-exact (see module docs).
-            mom_policy: MomPolicy::None,
+            // Momentum state is checkpointed and restored, so even a
+            // stateful update rule recovers bit-exactly — the exact
+            // final_loss equalities below prove it.
+            mom_policy: MomPolicy::Fixed { mom: 0.9 },
             regu_coef: 0.0,
             max_epoch: epochs,
         }
@@ -495,6 +513,38 @@ mod tests {
     }
 
     #[test]
+    fn stateful_rmsprop_resumes_identically() {
+        use crate::solver::RmsProp;
+        let mut exec_a = build();
+        let mut solver_a = RmsProp::new(params(2), 0.9, 1e-8);
+        let plain = solve(&mut solver_a, &mut exec_a, &mut source()).unwrap();
+
+        let mut exec_b = build();
+        let mut solver_b = RmsProp::new(params(2), 0.9, 1e-8);
+        let cfg = SupervisorConfig {
+            checkpoint_every: 5,
+            ..SupervisorConfig::new(temp_ckpt("rmsprop"))
+        };
+        let mut plan = FaultPlan::new(vec![Fault::ProcessDeath { iter: 13 }]);
+        let metrics = FaultMetrics::new();
+        let sup = supervise(
+            &mut solver_b,
+            &mut exec_b,
+            &mut source(),
+            &cfg,
+            &mut plan,
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(sup.restarts, 1);
+        assert_eq!(
+            sup.final_loss, plain.final_loss,
+            "restored RMSProp accumulators must reproduce the exact trajectory"
+        );
+        let _ = std::fs::remove_file(&cfg.checkpoint_path);
+    }
+
+    #[test]
     fn tampered_checkpoint_fails_loss_continuity() {
         let mut exec = build();
         let mut solver = Sgd::new(params(1));
@@ -535,7 +585,7 @@ mod tests {
             epoch_iter: 4,
             loss: 1e6,
         };
-        save_checkpoint(&exec, Some(&meta), &cfg.checkpoint_path).unwrap();
+        save_checkpoint_full(&exec, Some(&meta), None, &cfg.checkpoint_path).unwrap();
         let mut st = TrainState {
             epoch: 0,
             epoch_iter: 0,
@@ -544,7 +594,7 @@ mod tests {
             last_loss: 0.0,
             executed: 0,
         };
-        let err = restore(&mut exec, &mut src, &cfg, &mut st).unwrap_err();
+        let err = restore(&mut solver, &mut exec, &mut src, &cfg, &mut st).unwrap_err();
         assert!(
             err.to_string().contains("loss continuity violated"),
             "{err}"

@@ -11,6 +11,9 @@ cargo build --release
 echo "==> cargo test -q (tier-1, includes fault-injection end-to-end)"
 cargo test -q
 
+echo "==> cargo test -p latte-oracle -q (compiler-correctness oracle, fast subset)"
+cargo test -p latte-oracle -q
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
