@@ -619,7 +619,8 @@ fn fig20() {
                 s.reset();
             }
             loop {
-                let shards: Option<Vec<_>> = sources.iter_mut().map(|s| s.next_batch()).collect();
+                let shards: Option<Vec<_>> =
+                    sources.iter_mut().map(|s| s.next_batch().expect("batch")).collect();
                 match shards {
                     Some(shards) => {
                         trainer.step(&shards).expect("step");

@@ -1,7 +1,7 @@
 //! The compiler's output: groups of optimized loop nests plus the buffer
 //! plan, ready for the runtime to lower and execute.
 
-use latte_ir::{BufferDecl, Stmt};
+use latte_ir::{BufferDecl, BufferKind, Stmt};
 use std::fmt;
 
 /// Which pass of network execution a group belongs to.
@@ -150,6 +150,17 @@ impl CompiledNet {
     /// Looks up a buffer declaration by name.
     pub fn buffer(&self, name: &str) -> Option<&BufferDecl> {
         self.buffers.iter().find(|b| b.name == name)
+    }
+
+    /// The buffers a numerical sentinel should scan: every primary
+    /// (non-alias) declaration with its kind. Aliases share storage with
+    /// their target, so scanning them too would report the same trip
+    /// twice under two names.
+    pub fn sentinel_buffers(&self) -> impl Iterator<Item = (&str, BufferKind)> {
+        self.buffers
+            .iter()
+            .filter(|b| b.alias_of.is_none())
+            .map(|b| (b.name.as_str(), b.kind))
     }
 
     /// Pretty-prints the whole program (both phases), mainly for tests

@@ -24,7 +24,69 @@
 
 use crate::error::RuntimeError;
 use crate::fault::{FaultPlan, TransferFault};
+use crate::health::scan_slice;
 use crate::metrics::FaultMetrics;
+
+/// Merges per-node gradient contributions into their mean, **rejecting**
+/// any contribution containing a non-finite value — the containment half
+/// of the degraded all-reduce. Summing one NaN into the ring would
+/// poison every replica within a single iteration, so a poisoned
+/// contribution is dropped entirely (and counted in
+/// [`FaultMetrics::gradients_rejected`]) rather than merged.
+///
+/// Returns the element-wise mean over the **accepted** contributions and
+/// the indices of the rejected ones. When every contribution is rejected
+/// the merged gradient is all zeros: a skipped update is the only safe
+/// aggregate of exclusively-poisoned inputs.
+///
+/// # Errors
+///
+/// [`RuntimeError::InvalidConfig`] when `contributions` is empty or the
+/// contributions disagree on length.
+pub fn merge_finite_gradients(
+    contributions: &[&[f32]],
+    metrics: &FaultMetrics,
+) -> Result<(Vec<f32>, Vec<usize>), RuntimeError> {
+    let first = contributions.first().ok_or_else(|| RuntimeError::InvalidConfig {
+        detail: "all-reduce needs at least one gradient contribution".into(),
+    })?;
+    let len = first.len();
+    let mut accepted = Vec::with_capacity(contributions.len());
+    let mut rejected = Vec::new();
+    for (node, c) in contributions.iter().enumerate() {
+        if c.len() != len {
+            return Err(RuntimeError::InvalidConfig {
+                detail: format!(
+                    "all-reduce contribution from node {node} has {} elements, \
+                     the ring agreed on {len}",
+                    c.len()
+                ),
+            });
+        }
+        // Exhaustive scan: a single hidden NaN is enough to poison the
+        // merge, so sampling is not an option here.
+        if scan_slice(c, 1).is_some() {
+            rejected.push(node);
+            FaultMetrics::bump(&metrics.gradients_rejected);
+        } else {
+            accepted.push(node);
+        }
+    }
+    let mut merged = vec![0.0f32; len];
+    if accepted.is_empty() {
+        return Ok((merged, rejected));
+    }
+    for &node in &accepted {
+        for (m, &g) in merged.iter_mut().zip(contributions[node]) {
+            *m += g;
+        }
+    }
+    let scale = 1.0 / accepted.len() as f32;
+    for m in &mut merged {
+        *m *= scale;
+    }
+    Ok((merged, rejected))
+}
 
 /// A network fabric model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -290,6 +352,11 @@ impl ClusterRunReport {
 ///   is detected on arrival) plus exponential backoff per retry; a
 ///   transfer exceeding `policy.max_retries` marks its sender dead at
 ///   the end of the iteration.
+/// - A [`crate::fault::Fault::GradPoison`] makes a node's gradient
+///   contribution non-finite: the all-reduce rejects the contribution
+///   (counted in [`FaultMetrics::gradients_rejected`], see
+///   [`merge_finite_gradients`]) and evicts the sender at the end of
+///   the iteration.
 /// - Straggler detection compares each node's per-layer compute time
 ///   against a rolling EWMA estimate; flagged nodes are reported (and
 ///   counted once per slow phase) but keep participating — in
@@ -420,6 +487,22 @@ pub fn simulate_run(
                     let penalty = detect_ms + policy.backoff_ms(attempt as u32);
                     layer_penalty_ms[l] += penalty;
                     retry_penalty_ms += penalty;
+                }
+            }
+        }
+
+        // Non-finite gradient contributions (injected numerical poison)
+        // are rejected by the all-reduce instead of merged — see
+        // [`merge_finite_gradients`] — and the sender is evicted like
+        // any other faulty node: a replica producing NaNs once cannot
+        // be trusted to stop.
+        for &n in &live {
+            if plan.grad_poisoned(n, iter) {
+                FaultMetrics::bump(&metrics.gradients_rejected);
+                if !newly_dead.contains(&n) {
+                    alive[n] = false;
+                    newly_dead.push(n);
+                    FaultMetrics::bump(&metrics.nodes_failed);
                 }
             }
         }
@@ -1074,5 +1157,174 @@ mod tests {
         assert!(t16 < t8 * 1.5, "ring saturates: {t8} vs {t16}");
         assert!(net.allreduce_time(2e6, 8) > t8);
         assert_eq!(net.allreduce_time(1e6, 1), 0.0);
+    }
+
+    #[test]
+    fn merge_rejects_nonfinite_contributions() {
+        let metrics = FaultMetrics::new();
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [f32::NAN, 2.0, 3.0];
+        let c = [3.0f32, 4.0, f32::INFINITY];
+        let d = [5.0f32, 6.0, 7.0];
+        let (merged, rejected) =
+            merge_finite_gradients(&[&a, &b, &c, &d], &metrics).unwrap();
+        assert_eq!(rejected, vec![1, 2]);
+        assert_eq!(merged, vec![3.0, 4.0, 5.0], "mean of the two clean nodes");
+        assert_eq!(metrics.snapshot().gradients_rejected, 2);
+
+        // Every contribution poisoned: the only safe merge is a zero
+        // (skipped) update.
+        let (merged, rejected) = merge_finite_gradients(&[&b, &c], &metrics).unwrap();
+        assert_eq!(rejected, vec![0, 1]);
+        assert!(merged.iter().all(|&v| v == 0.0));
+
+        // Ill-formed rings are rejected outright.
+        assert!(merge_finite_gradients(&[], &metrics).is_err());
+        let short = [1.0f32];
+        assert!(merge_finite_gradients(&[&a, &short], &metrics).is_err());
+    }
+
+    #[test]
+    fn grad_poison_evicts_node_and_degrades_the_ring() {
+        use crate::fault::Fault;
+        let spec = ClusterSpec {
+            nodes: 4,
+            network: NetworkModel::infiniband_like(),
+        };
+        let plan = FaultPlan::new(vec![Fault::GradPoison { node: 1, iter: 2 }]);
+        let metrics = FaultMetrics::new();
+        let rep = simulate_run(
+            &spec,
+            &vgg_like_layers(),
+            64,
+            6,
+            &plan,
+            &FaultPolicy::default(),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(rep.iterations[2].newly_dead, vec![1]);
+        assert_eq!(rep.live_nodes, 3);
+        assert_eq!(rep.final_mode, SyncMode::LossyDegraded);
+        // The ring shrinks from the *next* iteration.
+        assert_eq!(rep.iterations[2].live_nodes, 4);
+        assert_eq!(rep.iterations[3].live_nodes, 3);
+        assert_eq!(rep.iterations[3].mode, SyncMode::LossyDegraded);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gradients_rejected, 1);
+        assert_eq!(snap.nodes_failed, 1);
+    }
+
+    /// End-to-end containment over *real* executors: three replicas
+    /// train on shards with their gradients merged through
+    /// [`merge_finite_gradients`]; at one iteration node 1 contributes
+    /// NaN gradients. The merge must stay finite, the poisoned node must
+    /// be counted, and the survivors must keep converging.
+    #[test]
+    fn degraded_allreduce_survives_a_poisoned_replica() {
+        use latte_core::{compile, OptLevel};
+        use latte_nn::models::{mlp, ModelConfig};
+
+        let cfg = ModelConfig {
+            batch: 4,
+            input_size: 6,
+            channel_div: 1,
+            classes: 3,
+            with_loss: true,
+            seed: 33,
+        };
+        let nodes = 3;
+        let mut replicas: Vec<crate::exec::Executor> = (0..nodes)
+            .map(|_| {
+                crate::exec::Executor::new(
+                    compile(&mlp(&cfg, &[8]).net, &OptLevel::full()).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let param_names: Vec<(String, String)> = replicas[0]
+            .params()
+            .iter()
+            .map(|b| (b.value.clone(), b.grad.clone()))
+            .collect();
+        // Master weights start from replica 0.
+        let mut master: Vec<Vec<f32>> = param_names
+            .iter()
+            .map(|(v, _)| replicas[0].read_buffer(v).unwrap())
+            .collect();
+
+        let shard = |node: usize, iter: usize| -> (Vec<f32>, Vec<f32>) {
+            let mut data = Vec::with_capacity(4 * 6);
+            let mut labels = Vec::with_capacity(4);
+            for item in 0..4 {
+                let class = (node + iter + item) % 3;
+                for j in 0..6 {
+                    data.push(if j % 3 == class { 1.0 } else { 0.1 });
+                }
+                labels.push(class as f32);
+            }
+            (data, labels)
+        };
+
+        let metrics = FaultMetrics::new();
+        let poisoned_iter = 5;
+        let mut first_loss = None;
+        let mut last_loss = 0.0f32;
+        for iter in 0..30 {
+            let mut contributions: Vec<Vec<Vec<f32>>> = Vec::with_capacity(nodes);
+            let mut losses = Vec::with_capacity(nodes);
+            for (node, exec) in replicas.iter_mut().enumerate() {
+                for ((v, _), m) in param_names.iter().zip(&master) {
+                    exec.write_buffer(v, m).unwrap();
+                }
+                let (data, labels) = shard(node, iter);
+                exec.set_input("data", &data).unwrap();
+                exec.set_input("label", &labels).unwrap();
+                exec.forward();
+                losses.push(exec.loss());
+                exec.backward();
+                let mut grads: Vec<Vec<f32>> = param_names
+                    .iter()
+                    .map(|(_, g)| exec.read_buffer(g).unwrap())
+                    .collect();
+                if node == 1 && iter == poisoned_iter {
+                    for g in &mut grads {
+                        for v in g.iter_mut() {
+                            *v = f32::NAN;
+                        }
+                    }
+                }
+                contributions.push(grads);
+            }
+            for (p, _) in param_names.iter().enumerate() {
+                let views: Vec<&[f32]> =
+                    contributions.iter().map(|c| c[p].as_slice()).collect();
+                let (merged, rejected) = merge_finite_gradients(&views, &metrics).unwrap();
+                assert!(
+                    merged.iter().all(|v| v.is_finite()),
+                    "merged gradient must stay finite"
+                );
+                if iter == poisoned_iter {
+                    assert_eq!(rejected, vec![1]);
+                }
+                for (m, g) in master[p].iter_mut().zip(&merged) {
+                    *m -= 0.1 * g;
+                }
+            }
+            let mean_loss = losses.iter().sum::<f32>() / nodes as f32;
+            first_loss.get_or_insert(mean_loss);
+            last_loss = mean_loss;
+        }
+        assert!(last_loss.is_finite());
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "survivors must keep converging: {} -> {last_loss}",
+            first_loss.unwrap()
+        );
+        // One poisoned contribution per parameter buffer.
+        assert_eq!(
+            metrics.snapshot().gradients_rejected,
+            param_names.len() as u64
+        );
     }
 }

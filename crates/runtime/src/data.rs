@@ -15,8 +15,10 @@ pub type Batch = Vec<(String, Vec<f32>)>;
 
 /// A source of training batches.
 pub trait BatchSource {
-    /// The next batch, or `None` at the end of an epoch.
-    fn next_batch(&mut self) -> Option<Batch>;
+    /// The next batch, `Ok(None)` at the end of an epoch, or an error
+    /// when the source itself failed (I/O, a dead prefetch thread, …) —
+    /// infallible in-memory sources simply always return `Ok`.
+    fn next_batch(&mut self) -> Result<Option<Batch>, RuntimeError>;
 
     /// Restarts the epoch.
     fn reset(&mut self);
@@ -81,9 +83,9 @@ impl MemoryDataSource {
 }
 
 impl BatchSource for MemoryDataSource {
-    fn next_batch(&mut self) -> Option<Batch> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, RuntimeError> {
         if self.cursor + self.batch > self.items.len() {
-            return None;
+            return Ok(None);
         }
         let slice = &self.items[self.cursor..self.cursor + self.batch];
         self.cursor += self.batch;
@@ -93,10 +95,10 @@ impl BatchSource for MemoryDataSource {
             inputs.extend_from_slice(x);
             labels.push(*y);
         }
-        Some(vec![
+        Ok(Some(vec![
             (self.input_name.clone(), inputs),
             (self.label_name.clone(), labels),
-        ])
+        ]))
     }
 
     fn reset(&mut self) {
@@ -113,13 +115,20 @@ impl BatchSource for MemoryDataSource {
 /// consumer's generation and the next acknowledgement tells the prefetch
 /// thread to reset, so a batch prefetched before the reset is discarded
 /// rather than served stale.
+///
+/// A panicked prefetch thread is *not* contagious: the panic is caught
+/// at the thread boundary and surfaces as a [`RuntimeError::Interrupted`]
+/// from `next_batch` / [`DoubleBufferedSource::into_inner`] (carrying
+/// the panic message), so the supervisor can treat it like any other
+/// recoverable crash instead of unwinding the training loop.
 #[derive(Debug)]
 pub struct DoubleBufferedSource<S: BatchSource + Send + 'static> {
-    rx: std::sync::mpsc::Receiver<(u64, Option<Batch>)>,
+    rx: std::sync::mpsc::Receiver<(u64, Result<Option<Batch>, RuntimeError>)>,
     control: std::sync::mpsc::Sender<Control>,
     handle: Option<std::thread::JoinHandle<S>>,
     gen: u64,
     resets_pending: u64,
+    failed: Option<RuntimeError>,
 }
 
 #[derive(Debug)]
@@ -132,7 +141,8 @@ enum Control {
 impl<S: BatchSource + Send + 'static> DoubleBufferedSource<S> {
     /// Wraps a source, spawning the prefetch thread.
     pub fn new(mut inner: S) -> Self {
-        let (tx, rx) = std::sync::mpsc::sync_channel::<(u64, Option<Batch>)>(1);
+        let (tx, rx) =
+            std::sync::mpsc::sync_channel::<(u64, Result<Option<Batch>, RuntimeError>)>(1);
         let (ctl_tx, ctl_rx) = std::sync::mpsc::channel::<Control>();
         let handle = std::thread::spawn(move || {
             let mut generation = 0u64;
@@ -158,25 +168,65 @@ impl<S: BatchSource + Send + 'static> DoubleBufferedSource<S> {
             handle: Some(handle),
             gen: 0,
             resets_pending: 0,
+            failed: None,
         }
     }
 
     /// Stops the prefetcher and returns the inner source.
-    pub fn into_inner(mut self) -> S {
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Interrupted`] when the prefetch thread panicked —
+    /// the inner source died with it and cannot be returned.
+    pub fn into_inner(mut self) -> Result<S, RuntimeError> {
         let _ = self.control.send(Control::Stop);
         let _ = self.rx.try_recv();
-        self.handle
-            .take()
-            .expect("prefetch thread present")
-            .join()
-            .expect("prefetch thread panicked")
+        match self.handle.take() {
+            Some(h) => h.join().map_err(|p| RuntimeError::Interrupted {
+                detail: format!(
+                    "prefetch thread panicked: {}",
+                    crate::error::panic_message(p.as_ref())
+                ),
+            }),
+            // next_batch already reaped the dead thread.
+            None => Err(self.failed.clone().unwrap_or(RuntimeError::Interrupted {
+                detail: "prefetch thread already shut down".into(),
+            })),
+        }
+    }
+
+    /// Diagnoses a closed batch channel: joins the prefetch thread and
+    /// converts its panic (the only way the channel closes while `self`
+    /// holds the control sender) into a runtime error.
+    fn reap_prefetch_thread(&mut self) -> RuntimeError {
+        let detail = match self.handle.take() {
+            Some(h) => match h.join() {
+                Ok(_) => "prefetch thread exited unexpectedly".to_string(),
+                Err(p) => format!(
+                    "prefetch thread panicked: {}",
+                    crate::error::panic_message(p.as_ref())
+                ),
+            },
+            None => "prefetch thread already shut down".to_string(),
+        };
+        RuntimeError::Interrupted { detail }
     }
 }
 
 impl<S: BatchSource + Send + 'static> BatchSource for DoubleBufferedSource<S> {
-    fn next_batch(&mut self) -> Option<Batch> {
+    fn next_batch(&mut self) -> Result<Option<Batch>, RuntimeError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
         loop {
-            let (g, batch) = self.rx.recv().ok()?;
+            let (g, batch) = match self.rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => {
+                    let e = self.reap_prefetch_thread();
+                    self.failed = Some(e.clone());
+                    return Err(e);
+                }
+            };
             // One control acknowledgement per received buffer. A stale
             // generation gets the pending Reset; current ones Continue.
             if g == self.gen {
@@ -348,25 +398,25 @@ mod tests {
     fn memory_source_batches_and_resets() {
         let mut s = MemoryDataSource::try_new("data", "label", items(7), 3).unwrap();
         assert_eq!(s.batches_per_epoch(), 2);
-        let b1 = s.next_batch().unwrap();
+        let b1 = s.next_batch().unwrap().unwrap();
         assert_eq!(b1[0].1.len(), 6);
         assert_eq!(b1[1].1, vec![0.0, 1.0, 2.0]);
-        assert!(s.next_batch().is_some());
-        assert!(s.next_batch().is_none(), "partial batch dropped");
+        assert!(s.next_batch().unwrap().is_some());
+        assert!(s.next_batch().unwrap().is_none(), "partial batch dropped");
         s.reset();
-        assert!(s.next_batch().is_some());
+        assert!(s.next_batch().unwrap().is_some());
     }
 
     #[test]
     fn double_buffered_source_yields_same_batches() {
         let plain: Vec<Batch> = {
             let mut s = MemoryDataSource::try_new("data", "label", items(9), 3).unwrap();
-            std::iter::from_fn(|| s.next_batch()).collect()
+            std::iter::from_fn(|| s.next_batch().unwrap()).collect()
         };
         let mut db = DoubleBufferedSource::new(
             MemoryDataSource::try_new("data", "label", items(9), 3).unwrap(),
         );
-        let buffered: Vec<Batch> = std::iter::from_fn(|| db.next_batch()).collect();
+        let buffered: Vec<Batch> = std::iter::from_fn(|| db.next_batch().unwrap()).collect();
         assert_eq!(plain, buffered);
     }
 
@@ -375,11 +425,87 @@ mod tests {
         let mut db = DoubleBufferedSource::new(
             MemoryDataSource::try_new("data", "label", items(6), 3).unwrap(),
         );
-        let first = db.next_batch().unwrap();
+        let first = db.next_batch().unwrap().unwrap();
         let _ = db.next_batch();
         db.reset();
-        let again = db.next_batch().unwrap();
+        let again = db.next_batch().unwrap().unwrap();
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn double_buffered_into_inner_returns_the_source() {
+        let mut db = DoubleBufferedSource::new(
+            MemoryDataSource::try_new("data", "label", items(6), 3).unwrap(),
+        );
+        let _ = db.next_batch().unwrap();
+        let inner = db.into_inner().expect("healthy prefetcher");
+        assert_eq!(inner.batches_per_epoch(), 2);
+    }
+
+    /// A source whose `call`-th `next_batch` panics — stands in for a
+    /// decoder hitting corrupt data inside the prefetch thread.
+    #[derive(Debug)]
+    struct PanickySource {
+        calls: usize,
+        panic_at: usize,
+    }
+
+    impl BatchSource for PanickySource {
+        fn next_batch(&mut self) -> Result<Option<Batch>, RuntimeError> {
+            self.calls += 1;
+            assert!(self.calls < self.panic_at, "synthetic prefetch panic");
+            Ok(Some(vec![("data".into(), vec![self.calls as f32])]))
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn prefetch_panic_surfaces_as_error_not_panic() {
+        let mut db = DoubleBufferedSource::new(PanickySource { calls: 0, panic_at: 3 });
+        // Two good batches arrive; the third call panics the thread.
+        assert!(db.next_batch().unwrap().is_some());
+        assert!(db.next_batch().unwrap().is_some());
+        let err = db.next_batch().unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::Interrupted { detail }
+                if detail.contains("prefetch thread panicked")),
+            "unexpected error: {err}"
+        );
+        // The failure is sticky, and into_inner reports it too.
+        assert_eq!(db.next_batch().unwrap_err(), err);
+        let err = db.into_inner().unwrap_err();
+        assert!(err.to_string().contains("prefetch"), "{err}");
+    }
+
+    #[test]
+    fn into_inner_reports_panic_directly() {
+        let mut db = DoubleBufferedSource::new(PanickySource { calls: 0, panic_at: 1 });
+        // Give the prefetch thread time to panic before asking for the
+        // inner source back (recv blocks until the send or the hangup).
+        let _ = db.next_batch();
+        let err = db.into_inner().unwrap_err();
+        assert!(
+            err.to_string().contains("panicked"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn inner_source_errors_propagate_through_the_prefetcher() {
+        struct FailingSource;
+        impl BatchSource for FailingSource {
+            fn next_batch(&mut self) -> Result<Option<Batch>, RuntimeError> {
+                Err(RuntimeError::Io { detail: "disk gone".into(), source: None })
+            }
+            fn reset(&mut self) {}
+        }
+        let mut db = DoubleBufferedSource::new(FailingSource);
+        let err = db.next_batch().unwrap_err();
+        assert!(matches!(err, RuntimeError::Io { .. }), "{err}");
+        // The thread is still alive (an inner error is not a panic), so
+        // the source can be recovered.
+        assert!(db.into_inner().is_ok());
     }
 
     #[test]

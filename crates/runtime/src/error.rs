@@ -58,6 +58,24 @@ pub enum RuntimeError {
         /// What fault fired.
         detail: String,
     },
+    /// A numerical-health guard tripped: a NaN/Inf sentinel, a
+    /// non-finite loss, or a diverging trajectory. Deliberately *not*
+    /// recoverable by a plain restart (the same data and weights would
+    /// reproduce it); the supervisor recovers only through its rollback
+    /// budget, quarantining or re-tuning along the way.
+    Numerical {
+        /// Which guard tripped, where, and on what.
+        detail: String,
+    },
+    /// A data-parallel worker thread failed; carries the worker index
+    /// and the underlying error (a panic is reported as
+    /// [`RuntimeError::Interrupted`]).
+    Worker {
+        /// Index of the failed worker.
+        worker: usize,
+        /// What went wrong inside the worker.
+        source: Box<RuntimeError>,
+    },
 }
 
 impl RuntimeError {
@@ -68,6 +86,23 @@ impl RuntimeError {
             source: Some(Arc::new(source)),
         }
     }
+
+    /// A numerical-guard trip with context.
+    pub fn numerical(detail: impl Into<String>) -> Self {
+        RuntimeError::Numerical {
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Renders a thread panic payload for error messages (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 impl PartialEq for RuntimeError {
@@ -93,6 +128,11 @@ impl PartialEq for RuntimeError {
                 Io { detail: b, source: sb },
             ) => a == b && sa.as_ref().map(|e| e.kind()) == sb.as_ref().map(|e| e.kind()),
             (Interrupted { detail: a }, Interrupted { detail: b }) => a == b,
+            (Numerical { detail: a }, Numerical { detail: b }) => a == b,
+            (
+                Worker { worker: a, source: sa },
+                Worker { worker: b, source: sb },
+            ) => a == b && sa == sb,
             _ => false,
         }
     }
@@ -124,6 +164,12 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Interrupted { detail } => {
                 write!(f, "execution interrupted: {detail}")
             }
+            RuntimeError::Numerical { detail } => {
+                write!(f, "numerical fault: {detail}")
+            }
+            RuntimeError::Worker { worker, source } => {
+                write!(f, "worker {worker} failed: {source}")
+            }
         }
     }
 }
@@ -134,6 +180,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Io {
                 source: Some(e), ..
             } => Some(e.as_ref()),
+            RuntimeError::Worker { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -161,6 +208,19 @@ mod tests {
         assert!(src.to_string().contains("short read"));
         let plain = RuntimeError::Malformed { detail: "x".into() };
         assert!(plain.source().is_none());
+    }
+
+    #[test]
+    fn worker_errors_chain_their_source() {
+        let e = RuntimeError::Worker {
+            worker: 2,
+            source: Box::new(RuntimeError::Interrupted {
+                detail: "worker thread panicked: boom".into(),
+            }),
+        };
+        assert!(e.to_string().contains("worker 2"));
+        let src = e.source().expect("source present");
+        assert!(src.to_string().contains("boom"));
     }
 
     #[test]

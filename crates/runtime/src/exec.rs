@@ -32,6 +32,7 @@ use latte_ir::{AssignOp, BinOp, UnaryOp};
 use latte_tensor::gemm::{Gemm, Transpose};
 
 use crate::error::RuntimeError;
+use crate::health::{scan_slice, BufferAnomaly, SentinelMode};
 use crate::lower::{
     BatchedGemm, CCopy, CExpr, CExtern, CGather, CGemm, CGroup, CRef, FastKind, InnerLoop,
     Kernel, Plan, Segment,
@@ -396,6 +397,99 @@ impl Executor {
             // exclusively borrowed Vec.
             let (vs, gs) = unsafe { ((*base.add(vi)).as_mut_slice(), (*base.add(gi)).as_slice()) };
             f(vs, gs, p.lr_mult);
+        }
+    }
+
+    /// Applies `f` to each parameter's `(grad buffer name, gradient)`
+    /// pair, mutably — the gradient-hygiene (clipping / finite-check)
+    /// access path, run between `backward` and `Solver::step`.
+    pub fn for_each_param_grad_mut(&mut self, mut f: impl FnMut(&str, &mut [f32])) {
+        for i in 0..self.net.params.len() {
+            let grad = self.net.params[i].grad.clone();
+            let gi = self.store.info(&grad).expect("param grad buffer").storage;
+            f(&grad, self.store.storages[gi].as_mut_slice());
+        }
+    }
+
+    /// Scans the buffers selected by `kinds` for non-finite values and
+    /// returns the first hit per buffer. Buffer names and kinds come
+    /// from the compiled net's sentinel hook
+    /// (`CompiledNet::sentinel_buffers`); aliased storages are scanned
+    /// once. `SentinelMode::Off` scans nothing.
+    pub fn scan_numerics(
+        &self,
+        mode: SentinelMode,
+        kinds: impl Fn(latte_ir::BufferKind) -> bool,
+    ) -> Vec<BufferAnomaly> {
+        let Some(stride) = mode.stride() else {
+            return Vec::new();
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (name, kind) in self.net.sentinel_buffers() {
+            if !kinds(kind) {
+                continue;
+            }
+            let Some(info) = self.store.info(name) else {
+                continue;
+            };
+            if !seen.insert(info.storage) {
+                continue;
+            }
+            if let Some((index, class)) = scan_slice(&self.store.storages[info.storage], stride) {
+                out.push(BufferAnomaly { buffer: name.to_string(), index, class });
+            }
+        }
+        out
+    }
+
+    /// Runs forward propagation with a sentinel scan after every group,
+    /// stopping at the first group that produces a non-finite value —
+    /// the layer-boundary debug mode, pinning a trip to the layer that
+    /// caused it. Lowered groups bind storages, not names, so the
+    /// anomaly is reported as `<group>#<binding>`.
+    ///
+    /// # Errors
+    ///
+    /// [`BufferAnomaly`] naming the tripping group; downstream groups
+    /// have not run, so buffer contents are mixed-iteration and the
+    /// caller should treat the pass (and its loss) as poisoned.
+    pub fn forward_guarded(&mut self, mode: SentinelMode) -> Result<(), BufferAnomaly> {
+        let Some(stride) = mode.stride() else {
+            self.forward();
+            return Ok(());
+        };
+        let plan = std::mem::replace(
+            &mut self.plan,
+            Plan {
+                forward: Vec::new(),
+                backward: Vec::new(),
+                n_slots: 0,
+            },
+        );
+        let mut trip = None;
+        'groups: for g in &plan.forward {
+            self.run_group(g, plan.n_slots);
+            let mut seen = std::collections::HashSet::new();
+            for (bi, b) in g.bufs.iter().enumerate() {
+                if !seen.insert(b.storage) {
+                    continue;
+                }
+                if let Some((index, class)) = scan_slice(&self.store.storages[b.storage], stride)
+                {
+                    trip = Some(BufferAnomaly {
+                        buffer: format!("{}#{bi}", g.name),
+                        index,
+                        class,
+                    });
+                    break 'groups;
+                }
+            }
+        }
+        self.plan = plan;
+        match trip {
+            Some(a) => Err(a),
+            None => Ok(()),
         }
     }
 

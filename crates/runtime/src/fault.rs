@@ -69,6 +69,40 @@ pub enum Fault {
         /// The last completed iteration before death.
         iter: usize,
     },
+    /// The input batch read at global iteration `iter` is corrupted with
+    /// NaNs. Persistent, not one-shot: a rolled-back attempt replaying
+    /// the same position re-reads the same corrupt record, so recovery
+    /// requires quarantining the batch, not retrying it.
+    BatchNaN {
+        /// The poisoned global iteration.
+        iter: usize,
+    },
+    /// The parameter gradients of global iteration `iter` are corrupted
+    /// (NaN) after the backward pass — a transient compute/memory glitch.
+    /// One-shot: a replay of the iteration computes clean gradients.
+    GradCorrupt {
+        /// The affected global iteration.
+        iter: usize,
+    },
+    /// The solver's learning-rate schedule is multiplied by `factor`
+    /// just before global iteration `iter` — a bad config push or a
+    /// corrupted hyperparameter. One-shot, but the damage persists in
+    /// the solver until a health policy reduces the rate again.
+    LrSpike {
+        /// The first iteration run at the spiked rate.
+        iter: usize,
+        /// Multiplier applied to the learning-rate schedule (> 1).
+        factor: f32,
+    },
+    /// Node `node`'s gradient contribution to iteration `iter`'s
+    /// all-reduce is non-finite; the merge detects and rejects it and
+    /// the node is declared faulty.
+    GradPoison {
+        /// The poisoned node.
+        node: usize,
+        /// The affected iteration.
+        iter: usize,
+    },
 }
 
 /// How a faulty transfer failed, as seen by the receiver.
@@ -96,6 +130,10 @@ pub struct FaultRates {
     pub transfer_drop: f64,
     /// Probability a node corrupts one transfer.
     pub transfer_corrupt: f64,
+    /// Probability a node contributes a non-finite gradient to one
+    /// all-reduce. Defaults to 0 (numerical poisoning is opt-in), which
+    /// also keeps plans from existing seeds bit-identical.
+    pub grad_poison: f64,
 }
 
 impl Default for FaultRates {
@@ -107,6 +145,7 @@ impl Default for FaultRates {
             straggle_len: 3,
             transfer_drop: 0.02,
             transfer_corrupt: 0.01,
+            grad_poison: 0.0,
         }
     }
 }
@@ -156,6 +195,9 @@ impl FaultPlan {
                 {
                     let layer = rng.gen_range(0..layers.max(1));
                     faults.push(Fault::TransferCorrupt { node, iter, layer });
+                }
+                if rates.grad_poison > 0.0 && rng.gen_range(0.0..1.0) < rates.grad_poison {
+                    faults.push(Fault::GradPoison { node, iter });
                 }
             }
         }
@@ -223,6 +265,48 @@ impl FaultPlan {
     /// Consumes a pending [`Fault::IoError`] for `iter` (one-shot).
     pub fn take_io_error(&mut self, iter: u64) -> bool {
         self.take_once(|f| matches!(f, Fault::IoError { iter: i } if *i as u64 == iter))
+    }
+
+    /// Whether the batch read at global iteration `iter` is scheduled to
+    /// be NaN-poisoned. Persistent (never consumed): replaying the same
+    /// data position re-reads the same corrupt record.
+    pub fn batch_poisoned(&self, iter: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::BatchNaN { iter: i } if *i as u64 == iter))
+    }
+
+    /// Consumes a pending [`Fault::GradCorrupt`] for `iter` (one-shot:
+    /// a rolled-back replay of the iteration computes clean gradients).
+    pub fn take_grad_corrupt(&mut self, iter: u64) -> bool {
+        self.take_once(|f| matches!(f, Fault::GradCorrupt { iter: i } if *i as u64 == iter))
+    }
+
+    /// Consumes a pending [`Fault::LrSpike`] for `iter` and returns its
+    /// factor (one-shot — the spiked schedule itself persists in the
+    /// solver until something corrects it).
+    pub fn take_lr_spike(&mut self, iter: u64) -> Option<f32> {
+        for (i, f) in self.faults.iter().enumerate() {
+            if self.fired[i] {
+                continue;
+            }
+            if let Fault::LrSpike { iter: fi, factor } = f {
+                if *fi as u64 == iter {
+                    let factor = *factor;
+                    self.fired[i] = true;
+                    return Some(factor);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `node`'s gradient contribution at `iter` is scheduled to
+    /// be non-finite. Persistent (never consumed); keyed per iteration.
+    pub fn grad_poisoned(&self, node: usize, iter: usize) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::GradPoison { node: n, iter: i } if (*n, *i) == (node, iter))
+        })
     }
 
     fn take_once(&mut self, matches: impl Fn(&Fault) -> bool) -> bool {
@@ -353,6 +437,55 @@ mod tests {
             assert!(!plan.take_io_error(iter), "io error re-fired at {iter}");
             assert!(!plan.take_process_death(iter), "death re-fired at {iter}");
         }
+    }
+
+    #[test]
+    fn batch_poison_is_persistent_and_grad_corrupt_is_one_shot() {
+        let mut plan = FaultPlan::new(vec![
+            Fault::BatchNaN { iter: 3 },
+            Fault::GradCorrupt { iter: 5 },
+        ]);
+        // Replaying iteration 3 (e.g. after a rollback) re-reads the
+        // same corrupt record every time.
+        assert!(plan.batch_poisoned(3));
+        assert!(plan.batch_poisoned(3));
+        assert!(!plan.batch_poisoned(4));
+        // A gradient glitch does not reproduce on replay.
+        assert!(!plan.take_grad_corrupt(4));
+        assert!(plan.take_grad_corrupt(5));
+        assert!(!plan.take_grad_corrupt(5), "glitch is one-shot");
+    }
+
+    #[test]
+    fn lr_spike_returns_its_factor_once() {
+        let mut plan = FaultPlan::new(vec![Fault::LrSpike { iter: 2, factor: 100.0 }]);
+        assert_eq!(plan.take_lr_spike(1), None);
+        assert_eq!(plan.take_lr_spike(2), Some(100.0));
+        assert_eq!(plan.take_lr_spike(2), None);
+    }
+
+    #[test]
+    fn grad_poison_is_keyed_by_node_and_iteration() {
+        let plan = FaultPlan::new(vec![Fault::GradPoison { node: 1, iter: 4 }]);
+        assert!(plan.grad_poisoned(1, 4));
+        assert!(plan.grad_poisoned(1, 4), "persistent within its iteration");
+        assert!(!plan.grad_poisoned(1, 5));
+        assert!(!plan.grad_poisoned(0, 4));
+    }
+
+    #[test]
+    fn grad_poison_rate_samples_into_random_plans() {
+        let rates = FaultRates {
+            grad_poison: 1.0,
+            ..FaultRates::default()
+        };
+        let plan = FaultPlan::random(7, 2, 3, 4, &rates);
+        let poisons = plan
+            .faults()
+            .iter()
+            .filter(|f| matches!(f, Fault::GradPoison { .. }))
+            .count();
+        assert_eq!(poisons, 6, "rate 1.0 poisons every node every iteration");
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`supervisor`] — the fault-tolerant training loop: periodic atomic
 //!   checkpoints, crash detection, and resume-from-checkpoint with a
 //!   loss-continuity check.
+//! * [`health`] — numerical-health guardrails: NaN/Inf tensor
+//!   sentinels, loss-anomaly classification (non-finite / spike /
+//!   plateau), and the quarantine / LR-cut / rollback reaction policies
+//!   the supervisor applies.
 //! * [`checkpoint`] — crash-safe (atomic, CRC-verified) weight
 //!   serialization.
 //! * [`metrics`] — evaluation helpers and the fault-event counters.
@@ -35,6 +39,7 @@ pub mod cluster;
 pub mod data;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod metrics;
 mod exec;
 mod lower;

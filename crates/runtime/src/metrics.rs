@@ -31,6 +31,28 @@ pub struct FaultMetrics {
     pub restores: AtomicU64,
     /// I/O errors observed (and survived) while checkpointing.
     pub io_errors: AtomicU64,
+    /// Tensor-sentinel trips (a NaN/Inf found in a scanned buffer).
+    pub sentinel_trips: AtomicU64,
+    /// Iterations whose gradients were clipped (per-element or
+    /// global-norm).
+    pub grad_clips: AtomicU64,
+    /// Iterations whose update was skipped because a parameter gradient
+    /// was non-finite.
+    pub grad_nonfinite_trips: AtomicU64,
+    /// Loss anomalies classified by the health monitor (non-finite,
+    /// spike, plateau).
+    pub loss_anomalies: AtomicU64,
+    /// Batches quarantined after producing a non-finite loss.
+    pub batches_quarantined: AtomicU64,
+    /// Rollbacks to the last good checkpoint triggered by a numerical
+    /// anomaly (distinct from `restores` after process faults, though
+    /// each rollback also performs a restore).
+    pub rollbacks: AtomicU64,
+    /// Learning-rate reductions applied by an anomaly policy.
+    pub lr_reductions: AtomicU64,
+    /// Per-node gradient contributions rejected by the all-reduce merge
+    /// for being non-finite.
+    pub gradients_rejected: AtomicU64,
 }
 
 /// A point-in-time copy of [`FaultMetrics`], comparable in tests.
@@ -46,6 +68,14 @@ pub struct FaultMetricsSnapshot {
     pub checkpoints_saved: u64,
     pub restores: u64,
     pub io_errors: u64,
+    pub sentinel_trips: u64,
+    pub grad_clips: u64,
+    pub grad_nonfinite_trips: u64,
+    pub loss_anomalies: u64,
+    pub batches_quarantined: u64,
+    pub rollbacks: u64,
+    pub lr_reductions: u64,
+    pub gradients_rejected: u64,
 }
 
 impl FaultMetrics {
@@ -71,6 +101,14 @@ impl FaultMetrics {
             checkpoints_saved: self.checkpoints_saved.load(Ordering::Relaxed),
             restores: self.restores.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            sentinel_trips: self.sentinel_trips.load(Ordering::Relaxed),
+            grad_clips: self.grad_clips.load(Ordering::Relaxed),
+            grad_nonfinite_trips: self.grad_nonfinite_trips.load(Ordering::Relaxed),
+            loss_anomalies: self.loss_anomalies.load(Ordering::Relaxed),
+            batches_quarantined: self.batches_quarantined.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            lr_reductions: self.lr_reductions.load(Ordering::Relaxed),
+            gradients_rejected: self.gradients_rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,7 +118,9 @@ impl fmt::Display for FaultMetricsSnapshot {
         write!(
             f,
             "retries={} dropped={} corrupted={} nodes_failed={} stragglers={} \
-             degraded_iters={} checkpoints={} restores={} io_errors={}",
+             degraded_iters={} checkpoints={} restores={} io_errors={} \
+             sentinel_trips={} grad_clips={} grad_nonfinite={} loss_anomalies={} \
+             quarantined={} rollbacks={} lr_reductions={} grads_rejected={}",
             self.retries,
             self.transfers_dropped,
             self.transfers_corrupted,
@@ -90,6 +130,14 @@ impl fmt::Display for FaultMetricsSnapshot {
             self.checkpoints_saved,
             self.restores,
             self.io_errors,
+            self.sentinel_trips,
+            self.grad_clips,
+            self.grad_nonfinite_trips,
+            self.loss_anomalies,
+            self.batches_quarantined,
+            self.rollbacks,
+            self.lr_reductions,
+            self.gradients_rejected,
         )
     }
 }
@@ -163,12 +211,18 @@ mod tests {
         FaultMetrics::bump(&m.retries);
         FaultMetrics::bump(&m.retries);
         FaultMetrics::bump(&m.nodes_failed);
+        FaultMetrics::bump(&m.sentinel_trips);
+        FaultMetrics::bump(&m.batches_quarantined);
         let snap = m.snapshot();
         assert_eq!(snap.retries, 2);
         assert_eq!(snap.nodes_failed, 1);
         assert_eq!(snap.transfers_dropped, 0);
+        assert_eq!(snap.sentinel_trips, 1);
+        assert_eq!(snap.batches_quarantined, 1);
+        assert_eq!(snap.gradients_rejected, 0);
         let text = snap.to_string();
         assert!(text.contains("retries=2") && text.contains("nodes_failed=1"));
+        assert!(text.contains("sentinel_trips=1") && text.contains("quarantined=1"));
     }
 
     #[test]

@@ -122,7 +122,10 @@ impl DataParallelTrainer {
     ///
     /// # Errors
     ///
-    /// Fails when a shard's inputs do not match the network.
+    /// [`RuntimeError::Worker`] naming the failing worker when a shard's
+    /// inputs do not match the network or a worker thread panics. A
+    /// genuine NaN loss is *not* an error here — it flows through as the
+    /// (NaN) mean loss for the caller's health monitor to judge.
     ///
     /// # Panics
     ///
@@ -135,38 +138,49 @@ impl DataParallelTrainer {
                 w.write_buffer(name, values)?;
             }
         }
-        // Parallel forward/backward.
-        let mut losses = vec![0.0f32; self.workers.len()];
-        let mut feed_err = None;
-        crossbeam::scope(|scope| {
-            for ((w, shard), loss) in self
+        // Parallel forward/backward. Handles are joined inside the scope
+        // so a panicking worker is consumed as a structured result
+        // instead of re-panicking the scope at its implicit join.
+        let results: Vec<Result<f32, RuntimeError>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = self
                 .workers
                 .iter_mut()
                 .zip(shards)
-                .zip(losses.iter_mut())
-            {
-                scope.spawn(move |_| {
-                    for (ensemble, values) in shard {
-                        if let Err(e) = w.set_input(ensemble, values) {
-                            *loss = f32::NAN;
-                            return Some(e);
+                .map(|(w, shard)| {
+                    scope.spawn(move |_| -> Result<f32, RuntimeError> {
+                        for (ensemble, values) in shard {
+                            w.set_input(ensemble, values)?;
                         }
-                    }
-                    w.forward();
-                    *loss = w.loss();
-                    w.backward();
-                    None
-                });
-            }
+                        w.forward();
+                        let loss = w.loss();
+                        w.backward();
+                        Ok(loss)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(RuntimeError::Interrupted {
+                            detail: format!(
+                                "worker thread panicked: {}",
+                                crate::error::panic_message(p.as_ref())
+                            ),
+                        })
+                    })
+                })
+                .collect()
         })
-        .expect("worker scope panicked");
-        if losses.iter().any(|l| l.is_nan()) {
-            feed_err = Some(RuntimeError::Malformed {
-                detail: "worker failed to feed inputs".to_string(),
-            });
-        }
-        if let Some(e) = feed_err {
-            return Err(e);
+        .expect("worker scope");
+        let mut losses = Vec::with_capacity(results.len());
+        for (worker, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(loss) => losses.push(loss),
+                Err(e) => {
+                    return Err(RuntimeError::Worker { worker, source: Box::new(e) });
+                }
+            }
         }
 
         // Gradient combination.

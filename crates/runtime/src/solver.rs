@@ -9,6 +9,7 @@
 use crate::data::BatchSource;
 use crate::error::RuntimeError;
 use crate::exec::Executor;
+use crate::metrics::FaultMetrics;
 
 /// Learning-rate schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +49,25 @@ impl LrPolicy {
                 base * (1.0 + gamma * iter as f32).powf(-power)
             }
             LrPolicy::Step { base, gamma, step } => base * gamma.powi((iter / step) as i32),
+        }
+    }
+
+    /// The same schedule with its rate multiplied by `factor` — how the
+    /// supervisor's health policies cut (or fault injection spikes) the
+    /// learning rate without knowing which schedule is in use.
+    pub fn scaled(self, factor: f32) -> LrPolicy {
+        match self {
+            LrPolicy::Fixed { lr } => LrPolicy::Fixed { lr: lr * factor },
+            LrPolicy::Inv { base, gamma, power } => LrPolicy::Inv {
+                base: base * factor,
+                gamma,
+                power,
+            },
+            LrPolicy::Step { base, gamma, step } => LrPolicy::Step {
+                base: base * factor,
+                gamma,
+                step,
+            },
         }
     }
 }
@@ -154,6 +174,13 @@ pub trait Solver {
     /// The solver's hyper-parameters.
     fn params(&self) -> &SolverParams;
 
+    /// Mutable access to the hyper-parameters, so supervision policies
+    /// can re-tune a running solver (e.g. cut the learning rate after a
+    /// divergence spike). Deliberately *not* captured by
+    /// [`Solver::export_state`]: a restored checkpoint keeps the
+    /// caller's (possibly re-tuned) hyper-parameters.
+    fn params_mut(&mut self) -> &mut SolverParams;
+
     /// Applies one update step to every parameter of the executor, using
     /// the gradients of the last backward pass.
     fn step(&mut self, exec: &mut Executor);
@@ -216,6 +243,10 @@ impl Sgd {
 impl Solver for Sgd {
     fn params(&self) -> &SolverParams {
         &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut SolverParams {
+        &mut self.params
     }
 
     fn step(&mut self, exec: &mut Executor) {
@@ -282,6 +313,10 @@ impl Solver for RmsProp {
         &self.params
     }
 
+    fn params_mut(&mut self) -> &mut SolverParams {
+        &mut self.params
+    }
+
     fn step(&mut self, exec: &mut Executor) {
         let lr = self.params.lr_policy.at(self.iter);
         let regu = self.params.regu_coef;
@@ -342,6 +377,10 @@ impl AdaGrad {
 impl Solver for AdaGrad {
     fn params(&self) -> &SolverParams {
         &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut SolverParams {
+        &mut self.params
     }
 
     fn step(&mut self, exec: &mut Executor) {
@@ -412,6 +451,10 @@ impl Solver for AdaDelta {
         &self.params
     }
 
+    fn params_mut(&mut self) -> &mut SolverParams {
+        &mut self.params
+    }
+
     fn step(&mut self, exec: &mut Executor) {
         let lr = self.params.lr_policy.at(self.iter);
         let regu = self.params.regu_coef;
@@ -460,6 +503,124 @@ impl Solver for AdaDelta {
     }
 }
 
+/// Gradient-hygiene policy applied between `backward` and
+/// [`Solver::step`]: per-element clipping, global-norm clipping, and a
+/// finite check that can veto the update entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradHygiene {
+    /// Scale all gradients down when their global L2 norm exceeds this.
+    pub max_global_norm: Option<f32>,
+    /// Clamp each gradient element to `[-max_abs, max_abs]`.
+    pub max_abs: Option<f32>,
+    /// Veto the update when any gradient element is NaN/Inf (the caller
+    /// skips [`Solver::step`]); clipping cannot repair a NaN.
+    pub skip_nonfinite: bool,
+}
+
+impl Default for GradHygiene {
+    fn default() -> Self {
+        GradHygiene {
+            max_global_norm: Some(100.0),
+            max_abs: None,
+            skip_nonfinite: true,
+        }
+    }
+}
+
+impl GradHygiene {
+    /// A policy that only vetoes non-finite updates, without clipping.
+    pub fn finite_check_only() -> Self {
+        GradHygiene {
+            max_global_norm: None,
+            max_abs: None,
+            skip_nonfinite: true,
+        }
+    }
+}
+
+/// What [`apply_grad_hygiene`] did to the current gradients.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GradHygieneReport {
+    /// Global L2 norm before clipping.
+    pub global_norm: f32,
+    /// Whether a non-finite element vetoed the update (when set, the
+    /// gradients were left untouched and the step must be skipped).
+    pub nonfinite: bool,
+    /// Elements clamped by `max_abs`.
+    pub clipped_values: u64,
+    /// Whether the global-norm rescale was applied.
+    pub scaled_global: bool,
+}
+
+/// Inspects and conditions the executor's parameter gradients per
+/// `cfg`, bumping `metrics` trip counters when given. Call after
+/// `backward` and before [`Solver::step`]; when the report says
+/// `nonfinite`, skip the step.
+pub fn apply_grad_hygiene(
+    exec: &mut Executor,
+    cfg: &GradHygiene,
+    metrics: Option<&FaultMetrics>,
+) -> GradHygieneReport {
+    let mut sumsq = 0.0f64;
+    let mut nonfinite = false;
+    exec.for_each_param_grad_mut(|_, g| {
+        for &v in g.iter() {
+            if v.is_finite() {
+                sumsq += f64::from(v) * f64::from(v);
+            } else {
+                nonfinite = true;
+            }
+        }
+    });
+    let mut report = GradHygieneReport {
+        global_norm: sumsq.sqrt() as f32,
+        nonfinite,
+        ..Default::default()
+    };
+    if nonfinite && cfg.skip_nonfinite {
+        if let Some(m) = metrics {
+            FaultMetrics::bump(&m.grad_nonfinite_trips);
+        }
+        return report;
+    }
+    if let Some(cap) = cfg.max_abs {
+        let mut clipped = 0u64;
+        let mut sumsq = 0.0f64;
+        exec.for_each_param_grad_mut(|_, g| {
+            for v in g.iter_mut() {
+                if v.abs() > cap {
+                    *v = v.clamp(-cap, cap);
+                    clipped += 1;
+                }
+                sumsq += f64::from(*v) * f64::from(*v);
+            }
+        });
+        report.clipped_values = clipped;
+        if clipped > 0 {
+            // The per-element clamp changed the norm the global clip
+            // must judge.
+            report.global_norm = sumsq.sqrt() as f32;
+        }
+    }
+    if let Some(max_norm) = cfg.max_global_norm {
+        if report.global_norm > max_norm && report.global_norm.is_finite() {
+            let scale = max_norm / report.global_norm;
+            exec.for_each_param_grad_mut(|_, g| {
+                for v in g.iter_mut() {
+                    *v *= scale;
+                }
+            });
+            report.scaled_global = true;
+        }
+    }
+    if report.clipped_values > 0 || report.scaled_global {
+        if let Some(m) = metrics {
+            FaultMetrics::bump(&m.grad_clips);
+        }
+    }
+    report
+}
+
 /// Result of a [`solve`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
@@ -478,7 +639,7 @@ pub struct SolveReport {
 ///
 /// # Errors
 ///
-/// Propagates input-feeding failures.
+/// Propagates input-feeding and data-source failures.
 pub fn solve(
     solver: &mut dyn Solver,
     exec: &mut Executor,
@@ -489,7 +650,7 @@ pub fn solve(
     let mut iterations = 0;
     for _ in 0..solver.params().max_epoch {
         source.reset();
-        while let Some(batch) = source.next_batch() {
+        while let Some(batch) = source.next_batch()? {
             for (ensemble, values) in &batch {
                 exec.set_input(ensemble, values)?;
             }
@@ -514,6 +675,114 @@ pub fn solve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use latte_core::{compile, OptLevel};
+    use latte_nn::models::{mlp, ModelConfig};
+
+    fn build() -> Executor {
+        let cfg = ModelConfig {
+            batch: 2,
+            input_size: 4,
+            channel_div: 1,
+            classes: 2,
+            with_loss: true,
+            seed: 5,
+        };
+        Executor::new(compile(&mlp(&cfg, &[6]).net, &OptLevel::full()).unwrap()).unwrap()
+    }
+
+    /// Runs one forward/backward on a fixed batch so gradients exist.
+    fn populate_grads(exec: &mut Executor) {
+        let input: Vec<f32> = (0..exec.batch() * 4).map(|i| (i % 5) as f32 * 0.3).collect();
+        exec.set_input("data", &input).unwrap();
+        exec.set_input("label", &vec![0.0; exec.batch()]).unwrap();
+        exec.forward();
+        exec.backward();
+    }
+
+    #[test]
+    fn lr_policies_scale_uniformly() {
+        let fixed = LrPolicy::Fixed { lr: 0.4 }.scaled(0.5);
+        assert_eq!(fixed.at(0), 0.2);
+        let inv = LrPolicy::Inv { base: 0.01, gamma: 0.0001, power: 0.75 };
+        let cut = inv.scaled(0.1);
+        for iter in [0, 100, 10_000] {
+            assert!((cut.at(iter) - 0.1 * inv.at(iter)).abs() < 1e-9);
+        }
+        let step = LrPolicy::Step { base: 0.1, gamma: 0.5, step: 10 }.scaled(2.0);
+        assert_eq!(step.at(10), 0.1);
+    }
+
+    #[test]
+    fn hygiene_vetoes_nonfinite_gradients_untouched() {
+        let mut exec = build();
+        populate_grads(&mut exec);
+        let mut grad_names = Vec::new();
+        exec.for_each_param_grad_mut(|name, _| grad_names.push(name.to_string()));
+        assert!(!grad_names.is_empty());
+        let len = exec.read_buffer(&grad_names[0]).unwrap().len();
+        let mut poisoned = vec![1.0; len];
+        poisoned[len / 2] = f32::NAN;
+        exec.write_buffer(&grad_names[0], &poisoned).unwrap();
+
+        let metrics = FaultMetrics::new();
+        let report = apply_grad_hygiene(&mut exec, &GradHygiene::default(), Some(&metrics));
+        assert!(report.nonfinite);
+        assert!(!report.scaled_global && report.clipped_values == 0);
+        assert_eq!(metrics.snapshot().grad_nonfinite_trips, 1);
+        // The veto leaves the gradients as they were.
+        let after = exec.read_buffer(&grad_names[0]).unwrap();
+        assert!(after[len / 2].is_nan());
+        assert_eq!(after[0], 1.0);
+    }
+
+    #[test]
+    fn hygiene_clips_elements_then_global_norm() {
+        let mut exec = build();
+        populate_grads(&mut exec);
+        let mut grad_names = Vec::new();
+        exec.for_each_param_grad_mut(|name, _| grad_names.push(name.to_string()));
+        let len = exec.read_buffer(&grad_names[0]).unwrap().len();
+        exec.write_buffer(&grad_names[0], &vec![50.0; len]).unwrap();
+
+        let metrics = FaultMetrics::new();
+        let cfg = GradHygiene {
+            max_abs: Some(10.0),
+            max_global_norm: Some(1.0),
+            skip_nonfinite: true,
+        };
+        let report = apply_grad_hygiene(&mut exec, &cfg, Some(&metrics));
+        assert!(!report.nonfinite);
+        assert_eq!(report.clipped_values, len as u64);
+        assert!(report.scaled_global);
+        assert_eq!(metrics.snapshot().grad_clips, 1);
+        // After conditioning, the global norm obeys the cap.
+        let mut sumsq = 0.0f64;
+        exec.for_each_param_grad_mut(|_, g| {
+            for &v in g.iter() {
+                sumsq += f64::from(v) * f64::from(v);
+            }
+        });
+        assert!(sumsq.sqrt() <= 1.0 + 1e-4, "norm {} exceeds cap", sumsq.sqrt());
+    }
+
+    #[test]
+    fn hygiene_leaves_healthy_gradients_alone() {
+        let mut exec = build();
+        populate_grads(&mut exec);
+        let before: Vec<Vec<f32>> = {
+            let mut v = Vec::new();
+            exec.for_each_param_grad_mut(|_, g| v.push(g.to_vec()));
+            v
+        };
+        let metrics = FaultMetrics::new();
+        let report = apply_grad_hygiene(&mut exec, &GradHygiene::default(), Some(&metrics));
+        assert!(!report.nonfinite && !report.scaled_global);
+        assert_eq!(report.clipped_values, 0);
+        let mut after = Vec::new();
+        exec.for_each_param_grad_mut(|_, g| after.push(g.to_vec()));
+        assert_eq!(before, after);
+        assert_eq!(metrics.snapshot().grad_clips, 0);
+    }
 
     #[test]
     fn lr_policies_decay_as_specified() {

@@ -24,6 +24,16 @@
 //! `process_death_recovers_from_checkpoint` test asserts exact
 //! `final_loss` equality against an uninterrupted run under
 //! `MomPolicy::Fixed`.
+//!
+//! With [`SupervisorConfig::health`] set, the same loop also defends
+//! against *numerical* faults (DESIGN.md §9): tensor sentinels scan for
+//! NaN/Inf, a [`HealthMonitor`] classifies each iteration's loss, and
+//! the configured [`crate::health::AnomalyReaction`] quarantines the
+//! offending batch, cuts the learning rate, and/or rolls back to the
+//! last good checkpoint — spending the separate
+//! [`HealthConfig::rollback_budget`], not `max_restarts`. Gradient
+//! hygiene ([`crate::solver::apply_grad_hygiene`]) clips gradients and
+//! vetoes the solver step outright when they are non-finite.
 
 use std::path::PathBuf;
 
@@ -32,8 +42,10 @@ use crate::data::BatchSource;
 use crate::error::RuntimeError;
 use crate::exec::Executor;
 use crate::fault::FaultPlan;
+use crate::health::{HealthConfig, HealthMonitor, LossAnomaly};
 use crate::metrics::FaultMetrics;
-use crate::solver::Solver;
+use crate::solver::{apply_grad_hygiene, Solver};
+use latte_ir::BufferKind;
 
 /// Supervisor policy.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +64,12 @@ pub struct SupervisorConfig {
     /// so the default is tight; models with stochastic layers need a
     /// looser bound.
     pub continuity_rel_tol: f32,
+    /// Numerical-health policy: tensor sentinels, gradient hygiene, and
+    /// loss-anomaly reactions (quarantine / LR cut / rollback). `None`
+    /// (the default) trains unguarded, exactly as before this policy
+    /// existed — injected numerical faults then corrupt the run, which
+    /// is what the negative-control tests assert.
+    pub health: Option<HealthConfig>,
 }
 
 impl SupervisorConfig {
@@ -62,6 +80,7 @@ impl SupervisorConfig {
             checkpoint_every: 10,
             max_restarts: 3,
             continuity_rel_tol: 1e-5,
+            health: None,
         }
     }
 
@@ -75,6 +94,9 @@ impl SupervisorConfig {
             return Err(RuntimeError::InvalidConfig {
                 detail: "supervisor: continuity tolerance must be non-negative".into(),
             });
+        }
+        if let Some(health) = &self.health {
+            health.validate()?;
         }
         Ok(())
     }
@@ -94,6 +116,13 @@ pub struct SupervisorReport {
     pub restarts: u32,
     /// Global iteration each restore resumed from.
     pub resumed_from: Vec<u64>,
+    /// Rollbacks taken in reaction to a loss anomaly (budgeted separately
+    /// from `restarts`; see [`HealthConfig::rollback_budget`]).
+    pub rollbacks: u32,
+    /// Learning-rate cuts applied by the health monitor.
+    pub lr_reductions: u32,
+    /// Batch positions quarantined for the remainder of the run.
+    pub quarantined: u64,
 }
 
 /// Mutable training position threaded through attempts.
@@ -104,6 +133,16 @@ struct TrainState {
     initial_loss: Option<f32>,
     last_loss: f32,
     executed: u64,
+}
+
+/// Health-monitor state. Lives *outside* the restart loop so the loss
+/// baseline, quarantine set, and rollback/LR-cut counts survive restores
+/// — a rollback must not forget which batch poisoned it.
+struct HealthState {
+    cfg: HealthConfig,
+    monitor: HealthMonitor,
+    rollbacks: u32,
+    lr_cuts: u32,
 }
 
 /// Trains like [`crate::solver::solve`], but under supervision: periodic
@@ -136,6 +175,12 @@ pub fn supervise(
     };
     let mut restarts = 0u32;
     let mut resumed_from = Vec::new();
+    let mut health = cfg.health.as_ref().map(|hc| HealthState {
+        monitor: HealthMonitor::new(hc),
+        cfg: hc.clone(),
+        rollbacks: 0,
+        lr_cuts: 0,
+    });
 
     // A restore point must exist before anything can fail.
     let initial_meta = CheckpointMeta {
@@ -153,8 +198,25 @@ pub fn supervise(
     FaultMetrics::bump(&metrics.checkpoints_saved);
 
     loop {
-        match run_attempt(solver, exec, source, cfg, plan, metrics, &mut st) {
+        match run_attempt(solver, exec, source, cfg, plan, metrics, &mut st, health.as_mut()) {
             Ok(()) => break,
+            Err(e @ RuntimeError::Numerical { .. }) => {
+                // A loss anomaly whose policy demands a rollback. Plain
+                // restarts would re-execute the same poisoned trajectory,
+                // so rollbacks are budgeted separately, and the monitor's
+                // quarantine set (which survives the restore) is what
+                // makes the replay take a different path.
+                let Some(h) = health.as_mut() else {
+                    return Err(e);
+                };
+                if h.rollbacks >= h.cfg.rollback_budget {
+                    return Err(e);
+                }
+                h.rollbacks += 1;
+                restore(solver, exec, source, cfg, &mut st)?;
+                FaultMetrics::bump(&metrics.rollbacks);
+                resumed_from.push(st.global_iter);
+            }
             Err(e) if is_recoverable(&e) && restarts < cfg.max_restarts => {
                 restarts += 1;
                 restore(solver, exec, source, cfg, &mut st)?;
@@ -171,6 +233,9 @@ pub fn supervise(
         iterations: st.executed,
         restarts,
         resumed_from,
+        rollbacks: health.as_ref().map_or(0, |h| h.rollbacks),
+        lr_reductions: health.as_ref().map_or(0, |h| h.lr_cuts),
+        quarantined: health.as_ref().map_or(0, |h| h.monitor.quarantined_count()),
     })
 }
 
@@ -188,7 +253,32 @@ fn feed(exec: &mut Executor, batch: &[(String, Vec<f32>)]) -> Result<(), Runtime
     Ok(())
 }
 
+/// Overwrites a batch's values with NaN — the "corrupt record" injected
+/// by [`crate::fault::Fault::BatchNaN`].
+fn poison_batch(batch: &mut [(String, Vec<f32>)]) {
+    for (_, values) in batch.iter_mut() {
+        for v in values.iter_mut() {
+            *v = f32::NAN;
+        }
+    }
+}
+
+/// Writes NaN into the first parameter-gradient buffer — the localized
+/// glitch injected by [`crate::fault::Fault::GradCorrupt`].
+fn corrupt_param_grads(exec: &mut Executor) {
+    let mut first = true;
+    exec.for_each_param_grad_mut(|_, grad| {
+        if first {
+            for v in grad.iter_mut() {
+                *v = f32::NAN;
+            }
+            first = false;
+        }
+    });
+}
+
 /// Runs training from `st`'s position until completion or an error.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     solver: &mut dyn Solver,
     exec: &mut Executor,
@@ -197,25 +287,149 @@ fn run_attempt(
     plan: &mut FaultPlan,
     metrics: &FaultMetrics,
     st: &mut TrainState,
+    mut health: Option<&mut HealthState>,
 ) -> Result<(), RuntimeError> {
     let max_epoch = solver.params().max_epoch as u64;
     while st.epoch < max_epoch {
         source.reset();
         for _ in 0..st.epoch_iter {
             // Fast-forward a mid-epoch resume to the checkpointed batch.
-            source.next_batch();
+            source.next_batch()?;
         }
-        while let Some(batch) = source.next_batch() {
+        while let Some(mut batch) = source.next_batch()? {
+            let iter = st.global_iter;
+
+            if let Some(h) = health.as_deref_mut() {
+                if h.monitor.is_quarantined(iter) {
+                    // Known-poisoned position: consume it without
+                    // training. Replays after a rollback land here.
+                    st.global_iter += 1;
+                    st.epoch_iter += 1;
+                    continue;
+                }
+            }
+
+            // Injected numerical faults. The corrupt record is
+            // persistent — a replay re-reads the same bad bytes — while
+            // the LR spike is a one-shot config push whose damage
+            // persists in the solver's schedule until a policy cuts it.
+            if plan.batch_poisoned(iter) {
+                poison_batch(&mut batch);
+            }
+            if let Some(factor) = plan.take_lr_spike(iter) {
+                let p = solver.params_mut();
+                p.lr_policy = p.lr_policy.scaled(factor);
+            }
+
             feed(exec, &batch)?;
-            exec.forward();
+
+            // Forward pass, optionally guarded by per-layer sentinels;
+            // then the iteration-boundary scan over value-carrying
+            // buffers (gradients are stale before backward, so they are
+            // judged by gradient hygiene instead).
+            let mut trip: Option<String> = None;
+            match health.as_deref() {
+                Some(h) if h.cfg.sentinel.layer_boundary => {
+                    if let Err(anomaly) = exec.forward_guarded(h.cfg.sentinel.mode) {
+                        trip = Some(anomaly.to_string());
+                    }
+                }
+                _ => exec.forward(),
+            }
+            if let Some(h) = health.as_deref() {
+                if trip.is_none()
+                    && !h.cfg.sentinel.layer_boundary
+                    && h.cfg.sentinel.should_scan(iter)
+                {
+                    let hits = exec.scan_numerics(h.cfg.sentinel.mode, |k| {
+                        matches!(
+                            k,
+                            BufferKind::Value | BufferKind::InputStage | BufferKind::State
+                        )
+                    });
+                    if let Some(first) = hits.first() {
+                        trip = Some(first.to_string());
+                    }
+                }
+            }
+            if trip.is_some() {
+                FaultMetrics::bump(&metrics.sentinel_trips);
+            }
+
             let loss = exec.loss();
+            let anomaly = match health.as_deref_mut() {
+                // A sentinel trip means the activations are already
+                // poisoned whatever the (possibly stale) loss reads as.
+                Some(_) if trip.is_some() => Some(LossAnomaly::NonFinite),
+                Some(h) => h.monitor.observe(loss),
+                None => None,
+            };
+
+            if let Some(kind) = anomaly {
+                FaultMetrics::bump(&metrics.loss_anomalies);
+                let h = health.as_deref_mut().expect("anomaly implies health");
+                let reaction = h.cfg.reaction_for(kind);
+                if reaction.reduce_lr {
+                    let p = solver.params_mut();
+                    p.lr_policy = p.lr_policy.scaled(h.cfg.lr_cut);
+                    h.lr_cuts += 1;
+                    FaultMetrics::bump(&metrics.lr_reductions);
+                    // The old loss baseline is meaningless at the new
+                    // rate; keep only the quarantine set.
+                    h.monitor.rebaseline();
+                }
+                if reaction.quarantine && h.monitor.quarantine(iter) {
+                    FaultMetrics::bump(&metrics.batches_quarantined);
+                }
+                match kind {
+                    LossAnomaly::NonFinite => {
+                        // Never train on a non-finite pass.
+                        st.global_iter += 1;
+                        st.epoch_iter += 1;
+                        if reaction.rollback {
+                            return Err(RuntimeError::numerical(format!(
+                                "non-finite loss at iteration {iter}{}",
+                                trip.map(|t| format!(" ({t})")).unwrap_or_default()
+                            )));
+                        }
+                        continue;
+                    }
+                    LossAnomaly::Spike { ratio } => {
+                        if reaction.rollback {
+                            return Err(RuntimeError::numerical(format!(
+                                "loss spiked {ratio:.1}x above baseline at iteration {iter}"
+                            )));
+                        }
+                        if reaction.quarantine {
+                            st.global_iter += 1;
+                            st.epoch_iter += 1;
+                            continue;
+                        }
+                        // Otherwise the batch is finite — train on it
+                        // (under the freshly cut rate, if any).
+                    }
+                    // Plateaus are a trend, not a bad batch: count them,
+                    // apply any LR cut, and keep training.
+                    LossAnomaly::Plateau => {}
+                }
+            }
+
             if st.initial_loss.is_none() {
                 st.initial_loss = Some(loss);
             }
             st.last_loss = loss;
             exec.backward();
-            solver.step(exec);
-            let iter = st.global_iter;
+            if plan.take_grad_corrupt(iter) {
+                corrupt_param_grads(exec);
+            }
+            let mut skip_step = false;
+            if let Some(h) = health.as_deref_mut() {
+                let report = apply_grad_hygiene(exec, &h.cfg.hygiene, Some(metrics));
+                skip_step = report.nonfinite && h.cfg.hygiene.skip_nonfinite;
+            }
+            if !skip_step {
+                solver.step(exec);
+            }
             st.global_iter += 1;
             st.epoch_iter += 1;
             st.executed += 1;
@@ -294,7 +508,7 @@ fn restore(
         source.reset();
         let mut batch = None;
         for _ in 0..meta.epoch_iter {
-            batch = source.next_batch();
+            batch = source.next_batch()?;
         }
         let batch = batch.ok_or_else(|| RuntimeError::InvalidConfig {
             detail: format!(
@@ -599,6 +813,234 @@ mod tests {
             err.to_string().contains("loss continuity violated"),
             "{err}"
         );
+        let _ = std::fs::remove_file(&cfg.checkpoint_path);
+    }
+
+    fn health() -> crate::health::HealthConfig {
+        crate::health::HealthConfig {
+            sentinel: crate::health::SentinelConfig::cheap().env_override(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn healthy_run_is_not_perturbed_by_guardrails() {
+        let mut exec_a = build();
+        let mut solver_a = Sgd::new(params(2));
+        let plain = solve(&mut solver_a, &mut exec_a, &mut source()).unwrap();
+
+        let mut exec_b = build();
+        let mut solver_b = Sgd::new(params(2));
+        let cfg = SupervisorConfig {
+            health: Some(health()),
+            ..SupervisorConfig::new(temp_ckpt("guarded_clean"))
+        };
+        let metrics = FaultMetrics::new();
+        let sup = supervise(
+            &mut solver_b,
+            &mut exec_b,
+            &mut source(),
+            &cfg,
+            &mut FaultPlan::none(),
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(
+            sup.final_loss, plain.final_loss,
+            "guardrails must be invisible on a healthy run"
+        );
+        assert_eq!(sup.rollbacks, 0);
+        assert_eq!(sup.quarantined, 0);
+        assert_eq!(metrics.snapshot().sentinel_trips, 0);
+        let _ = std::fs::remove_file(&cfg.checkpoint_path);
+    }
+
+    #[test]
+    fn nan_batch_is_quarantined_and_training_finishes() {
+        let mut exec = build();
+        let mut solver = Sgd::new(params(2));
+        let cfg = SupervisorConfig {
+            health: Some(health()),
+            ..SupervisorConfig::new(temp_ckpt("quarantine"))
+        };
+        let mut plan = FaultPlan::new(vec![Fault::BatchNaN { iter: 7 }]);
+        let metrics = FaultMetrics::new();
+        let sup = supervise(
+            &mut solver,
+            &mut exec,
+            &mut source(),
+            &cfg,
+            &mut plan,
+            &metrics,
+        )
+        .unwrap();
+        assert!(sup.final_loss.is_finite(), "final loss {}", sup.final_loss);
+        assert_eq!(sup.quarantined, 1);
+        assert_eq!(sup.rollbacks, 0, "default policy skips without rewinding");
+        // The poisoned iteration is not counted as productive.
+        assert_eq!(sup.iterations, 23);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batches_quarantined, 1);
+        assert_eq!(snap.loss_anomalies, 1);
+        let _ = std::fs::remove_file(&cfg.checkpoint_path);
+    }
+
+    #[test]
+    fn unguarded_nan_batch_silently_bricks_the_network() {
+        use crate::health::SentinelMode;
+        // Negative control: same injection, `health: None`. The NaN
+        // never reaches the loss scalar — ReLU (`max(NaN, 0) = 0`) and
+        // the loss layer's probability clamp launder it — but one
+        // solver step on NaN gradients bricks the first layer's
+        // weights for good, pinning the loss at chance level (ln 3).
+        // This *silent* failure mode is why buffer sentinels exist:
+        // loss-only monitoring provably cannot see it.
+        let mut exec = build();
+        let mut solver = Sgd::new(params(2));
+        let cfg = SupervisorConfig::new(temp_ckpt("unguarded_nan"));
+        let mut plan = FaultPlan::new(vec![Fault::BatchNaN { iter: 7 }]);
+        let metrics = FaultMetrics::new();
+        let sup = supervise(
+            &mut solver,
+            &mut exec,
+            &mut source(),
+            &cfg,
+            &mut plan,
+            &metrics,
+        )
+        .unwrap();
+        let poisoned = exec.scan_numerics(SentinelMode::Exhaustive, |k| {
+            matches!(k, BufferKind::Param)
+        });
+        assert!(!poisoned.is_empty(), "weights must be NaN-poisoned");
+        assert!(
+            sup.final_loss > 1.0,
+            "loss must be pinned at chance (~ln 3), got {}",
+            sup.final_loss
+        );
+        assert_eq!(metrics.snapshot().sentinel_trips, 0, "nothing was watching");
+        let _ = std::fs::remove_file(&cfg.checkpoint_path);
+    }
+
+    #[test]
+    fn rollback_restores_weights_and_quarantines_the_batch() {
+        use crate::health::AnomalyReaction;
+        let mut exec = build();
+        let mut solver = Sgd::new(params(2));
+        let cfg = SupervisorConfig {
+            checkpoint_every: 5,
+            health: Some(crate::health::HealthConfig {
+                on_bad_batch: AnomalyReaction::rollback_and_quarantine(),
+                ..health()
+            }),
+            ..SupervisorConfig::new(temp_ckpt("rollback"))
+        };
+        let mut plan = FaultPlan::new(vec![Fault::BatchNaN { iter: 7 }]);
+        let metrics = FaultMetrics::new();
+        let sup = supervise(
+            &mut solver,
+            &mut exec,
+            &mut source(),
+            &cfg,
+            &mut plan,
+            &metrics,
+        )
+        .unwrap();
+        assert!(sup.final_loss.is_finite(), "final loss {}", sup.final_loss);
+        assert_eq!(sup.rollbacks, 1);
+        assert_eq!(sup.restarts, 0, "rollbacks spend their own budget");
+        assert_eq!(sup.resumed_from, vec![5]);
+        assert_eq!(sup.quarantined, 1);
+        assert_eq!(metrics.snapshot().rollbacks, 1);
+        let _ = std::fs::remove_file(&cfg.checkpoint_path);
+    }
+
+    #[test]
+    fn gradient_corruption_is_vetoed_before_the_step() {
+        let mut exec = build();
+        let mut solver = Sgd::new(params(2));
+        let cfg = SupervisorConfig {
+            health: Some(health()),
+            ..SupervisorConfig::new(temp_ckpt("gradcorrupt"))
+        };
+        let mut plan = FaultPlan::new(vec![Fault::GradCorrupt { iter: 6 }]);
+        let metrics = FaultMetrics::new();
+        let sup = supervise(
+            &mut solver,
+            &mut exec,
+            &mut source(),
+            &cfg,
+            &mut plan,
+            &metrics,
+        )
+        .unwrap();
+        assert!(sup.final_loss.is_finite(), "final loss {}", sup.final_loss);
+        assert_eq!(sup.quarantined, 0, "the batch itself was fine");
+        assert_eq!(metrics.snapshot().grad_nonfinite_trips, 1);
+        let _ = std::fs::remove_file(&cfg.checkpoint_path);
+    }
+
+    #[test]
+    fn lr_spike_is_healed_by_rate_cuts_and_rollbacks() {
+        use crate::health::AnomalyReaction;
+        let mut exec = build();
+        let mut solver = Sgd::new(params(2));
+        let cfg = SupervisorConfig {
+            checkpoint_every: 5,
+            health: Some(crate::health::HealthConfig {
+                // The batch is innocent — the damage lives in the
+                // solver's spiked schedule and the exploded weights, so
+                // the cure is cut-rate-and-rewind, never quarantine.
+                on_bad_batch: AnomalyReaction::rollback_and_reduce_lr(),
+                on_spike: AnomalyReaction::rollback_and_reduce_lr(),
+                rollback_budget: 6,
+                ..health()
+            }),
+            ..SupervisorConfig::new(temp_ckpt("lrspike"))
+        };
+        let mut plan = FaultPlan::new(vec![Fault::LrSpike { iter: 6, factor: 1000.0 }]);
+        let metrics = FaultMetrics::new();
+        let sup = supervise(
+            &mut solver,
+            &mut exec,
+            &mut source(),
+            &cfg,
+            &mut plan,
+            &metrics,
+        )
+        .unwrap();
+        assert!(sup.final_loss.is_finite(), "final loss {}", sup.final_loss);
+        assert!(sup.lr_reductions >= 1, "report {sup:?}");
+        assert!(sup.rollbacks >= 1 && sup.rollbacks <= 6, "report {sup:?}");
+        assert_eq!(sup.quarantined, 0, "no batch deserved quarantine");
+        let _ = std::fs::remove_file(&cfg.checkpoint_path);
+    }
+
+    #[test]
+    fn rollback_budget_exhaustion_propagates_the_numerical_fault() {
+        use crate::health::AnomalyReaction;
+        let mut exec = build();
+        let mut solver = Sgd::new(params(1));
+        let cfg = SupervisorConfig {
+            health: Some(crate::health::HealthConfig {
+                on_bad_batch: AnomalyReaction::rollback_and_quarantine(),
+                rollback_budget: 0,
+                ..health()
+            }),
+            ..SupervisorConfig::new(temp_ckpt("rb_budget"))
+        };
+        let mut plan = FaultPlan::new(vec![Fault::BatchNaN { iter: 3 }]);
+        let metrics = FaultMetrics::new();
+        let err = supervise(
+            &mut solver,
+            &mut exec,
+            &mut source(),
+            &cfg,
+            &mut plan,
+            &metrics,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Numerical { .. }), "{err}");
         let _ = std::fs::remove_file(&cfg.checkpoint_path);
     }
 }

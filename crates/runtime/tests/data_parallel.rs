@@ -51,7 +51,8 @@ fn train(workers: usize, sync: GradSync, epochs: usize) -> (f32, f32) {
             s.reset();
         }
         loop {
-            let shards: Option<Vec<_>> = sources.iter_mut().map(|s| s.next_batch()).collect();
+            let shards: Option<Vec<_>> =
+                sources.iter_mut().map(|s| s.next_batch().unwrap()).collect();
             match shards {
                 Some(shards) => last = trainer.step(&shards).unwrap(),
                 None => break,
@@ -84,4 +85,46 @@ fn single_worker_degenerates_to_plain_training() {
     let (loss, acc) = train(1, GradSync::Synchronized, 6);
     assert!(loss < 0.3, "loss {loss}");
     assert!(acc > 0.9, "accuracy {acc}");
+}
+
+#[test]
+fn failing_worker_is_identified_by_index() {
+    let cfg = ModelConfig {
+        batch: 4,
+        input_size: 9,
+        channel_div: 1,
+        classes: 3,
+        with_loss: true,
+        seed: 11,
+    };
+    let mut trainer = DataParallelTrainer::new(
+        || compile(&mlp(&cfg, &[8]).net, &OptLevel::full()).unwrap(),
+        DataParallelConfig {
+            workers: 3,
+            sync: GradSync::Synchronized,
+            lr: 0.05,
+            momentum: 0.9,
+        },
+    )
+    .unwrap();
+    let good: latte_runtime::data::Batch = vec![
+        ("data".into(), vec![0.1; 4 * 9]),
+        ("label".into(), vec![0.0; 4]),
+    ];
+    // Worker 2's shard names an ensemble that does not exist.
+    let bad: latte_runtime::data::Batch = vec![("nonsense".into(), vec![0.0; 4])];
+    let err = trainer
+        .step(&[good.clone(), good.clone(), bad])
+        .unwrap_err();
+    match err {
+        latte_runtime::RuntimeError::Worker { worker, source } => {
+            assert_eq!(worker, 2);
+            assert!(source.to_string().contains("nonsense"), "{source}");
+        }
+        other => panic!("expected a worker error, got {other:?}"),
+    }
+    // The trainer is still usable: a NaN loss would have been
+    // indistinguishable from this failure under the old sentinel.
+    let loss = trainer.step(&[good.clone(), good.clone(), good]).unwrap();
+    assert!(loss.is_finite());
 }

@@ -52,8 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 s.reset();
             }
             loop {
-                let shards: Option<Vec<_>> =
-                    sources.iter_mut().map(|s| s.next_batch()).collect();
+                let shards: Option<Vec<_>> = sources
+                    .iter_mut()
+                    .map(|s| s.next_batch())
+                    .collect::<Result<_, _>>()?;
                 match shards {
                     Some(shards) => last = trainer.step(&shards)?,
                     None => break,

@@ -20,4 +20,11 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> examples smoke run (release)"
+for ex in examples/*.rs; do
+  name="$(basename "$ex" .rs)"
+  echo "   -> $name"
+  cargo run --release --quiet --example "$name" >/dev/null
+done
+
 echo "All checks passed."
