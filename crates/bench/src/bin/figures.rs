@@ -13,8 +13,8 @@
 
 use latte_baselines::{caffe, mocha, spec};
 use latte_bench::{
-    compile_or_die, executor_or_die, print_table, seeded, speedup, time_baseline, time_latte,
-    Pass,
+    compile_or_die, executor_or_die, print_compile_stats, print_table, seeded, speedup,
+    time_baseline, time_latte, Pass,
 };
 use latte_core::OptLevel;
 use latte_nn::models::{self, ModelConfig};
@@ -179,6 +179,9 @@ fn fig13(scale: Scale) {
     let mut rows = Vec::new();
     for (name, opt) in variants {
         let compiled = compile_or_die(&net, &opt, "vgg group 1");
+        if name == "+vectorization (full)" {
+            print_compile_stats(&compiled, "VGG group 1 at full");
+        }
         let mut exec = executor_or_die(compiled, "vgg group 1");
         exec.set_input("data", &input).expect("input");
         let t = [
@@ -299,6 +302,9 @@ fn fig15(scale: Scale) {
         );
         let compiled = compile_or_die(&net, &OptLevel::full(), "vgg group");
         let fusions = compiled.stats.fusions;
+        if group == 1 {
+            print_compile_stats(&compiled, "VGG group 1 at full");
+        }
         let mut exec = executor_or_die(compiled, "vgg group");
         exec.set_input("data", &input).expect("input");
         let latte_t = time_latte(&mut exec, Pass::Both, 3);

@@ -82,6 +82,16 @@ pub fn executor_or_die(compiled: CompiledNet, what: &str) -> Executor {
     Executor::new(compiled).unwrap_or_else(|e| panic!("lowering {what}: {e}"))
 }
 
+/// Prints the compiler's per-pass instrumentation for one compile — one
+/// row per pipeline pass with wall time and IR-size deltas (see
+/// `CompileStats::passes`), so figure runs show where compile time goes.
+pub fn print_compile_stats(compiled: &CompiledNet, what: &str) {
+    println!("\n-- compile pipeline: {what} --");
+    for p in &compiled.stats.passes {
+        println!("  {}", p.render());
+    }
+}
+
 /// Deterministic pseudo-random input data.
 pub fn seeded(len: usize, seed: u32) -> Vec<f32> {
     (0..len)

@@ -6,7 +6,7 @@ use latte_tensor::Shape;
 
 use crate::dsl::Net;
 use crate::error::CompileError;
-use crate::opt;
+use crate::pass::{PassContext, PassManager, PipelineState};
 use crate::program::{CompileStats, CompiledNet};
 use crate::synth::{synthesize, SynthOptions};
 
@@ -140,16 +140,38 @@ impl Default for OptLevel {
 /// Compiles a network into an executable program.
 ///
 /// The pipeline is exactly the paper's: shared-variable analysis guides
-/// synthesis; the synthesized loop nests are pattern-matched into GEMM
-/// calls, tiled, fused across layers, and annotated for parallel
-/// execution. The result is handed to `latte-runtime` for lowering to
-/// native kernels and execution.
+/// synthesis; the synthesized loop nests then flow through the
+/// [`PassManager`]'s staged pipeline — GEMM pattern matching, cross-layer
+/// fusion, tiling, parallel marking, vectorize marking — with the
+/// `OptLevel` acting as the pipeline builder (every level runs the same
+/// pass sequence; flags only enable/disable individual passes). The
+/// manager records per-pass wall time and IR-size deltas in
+/// [`CompileStats::passes`](crate::CompileStats), verifies the IR between
+/// passes (debug builds always, release with `LATTE_VERIFY_IR=1`), and
+/// honours `LATTE_DUMP_IR=<dir>` textual snapshots. The result is handed
+/// to `latte-runtime` for lowering to native kernels and execution.
 ///
 /// # Errors
 ///
 /// Returns a [`CompileError`] for cyclic graphs, invalid ensembles, and
-/// malformed mappings.
+/// malformed mappings, or [`CompileError::Verify`] when a pass emits
+/// malformed IR (a compiler bug, not a user error).
 pub fn compile(net: &Net, opt: &OptLevel) -> Result<CompiledNet, CompileError> {
+    compile_with(net, opt, &PassManager::standard())
+}
+
+/// [`compile`] with an explicit pass manager — the hook tests use to
+/// inject extra (or sabotaged) passes and to force verification on or
+/// off.
+///
+/// # Errors
+///
+/// As [`compile`].
+pub fn compile_with(
+    net: &Net,
+    opt: &OptLevel,
+    passes: &PassManager,
+) -> Result<CompiledNet, CompileError> {
     let synth_opts = SynthOptions {
         shared_buffers: opt.shared_buffers,
         inplace_activation: opt.inplace_activation,
@@ -163,35 +185,28 @@ pub fn compile(net: &Net, opt: &OptLevel) -> Result<CompiledNet, CompileError> {
         .map(|b| (b.name.clone(), b.shape.clone()))
         .collect();
 
-    let mut forward = s.forward;
-    let mut backward = s.backward;
     let mut stats = CompileStats {
         aliased_buffers: s.aliased_buffers,
         dims_dropped: s.dims_dropped,
         ..CompileStats::default()
     };
 
-    if opt.pattern_match {
-        stats.gemms_matched += opt::pattern_match(&mut forward, &shapes);
-        stats.gemms_matched += opt::pattern_match(&mut backward, &shapes);
-    }
-
-    let (mut forward, fstats) = opt::tile_and_fuse(forward, opt.tiling, opt.fusion, opt.tile_size);
-    let (mut backward, bstats) =
-        opt::tile_and_fuse(backward, opt.tiling, opt.fusion, opt.tile_size);
-    stats.groups_tiled = fstats.groups_tiled + bstats.groups_tiled;
-    stats.fusions = fstats.fusions + bstats.fusions;
-
-    if opt.parallel {
-        opt::parallelize(&mut forward);
-        opt::parallelize(&mut backward);
-    }
+    let mut state = PipelineState {
+        forward: s.forward,
+        backward: s.backward,
+    };
+    let ctx = PassContext {
+        shapes: &shapes,
+        buffers: &s.buffers,
+        opt,
+    };
+    passes.run(&mut state, &ctx, &mut stats)?;
 
     Ok(CompiledNet {
         batch: net.batch(),
         buffers: s.buffers,
-        forward,
-        backward,
+        forward: state.forward,
+        backward: state.backward,
         params: s.params,
         inputs: s.inputs,
         losses: s.losses,

@@ -44,6 +44,16 @@ pub enum CompileError {
         /// Human-readable explanation.
         detail: String,
     },
+    /// The inter-pass IR verifier rejected the program a pass produced.
+    /// Always a compiler bug (or a deliberately sabotaged pass under
+    /// test), never a user error.
+    Verify {
+        /// Name of the pass whose output failed verification
+        /// (`"synthesize"` when the synthesized program itself is bad).
+        pass: String,
+        /// The verifier's diagnostic, including the statement path.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -76,6 +86,9 @@ impl fmt::Display for CompileError {
             ),
             CompileError::Invalid { ensemble, detail } => {
                 write!(f, "invalid ensemble `{ensemble}`: {detail}")
+            }
+            CompileError::Verify { pass, detail } => {
+                write!(f, "ir verification failed after pass `{pass}`: {detail}")
             }
         }
     }

@@ -7,4 +7,4 @@ pub mod sabotage;
 mod schedule;
 
 pub use pattern::pattern_match;
-pub use schedule::{parallelize, tile_and_fuse, ScheduleStats};
+pub use schedule::{fuse_chains, parallelize, tile_and_fuse, tile_untiled, ScheduleStats};

@@ -34,60 +34,95 @@ pub struct ScheduleStats {
 
 /// Applies tiling and (optionally) fusion to a phase's groups.
 /// `tile_size` overrides the preferred tile when it divides the extent.
+///
+/// Kept as a convenience wrapper over the two pass entry points the pass
+/// manager drives separately: [`fuse_chains`] (merge producer→consumer
+/// chains into one tile loop) followed by [`tile_untiled`] (tile every
+/// group the fusion pass left alone).
 pub fn tile_and_fuse(
     groups: Vec<Group>,
     tiling: bool,
     fusion: bool,
     tile_size: Option<usize>,
 ) -> (Vec<Group>, ScheduleStats) {
-    let mut stats = ScheduleStats::default();
     if !tiling {
-        return (groups, stats);
+        return (groups, ScheduleStats::default());
     }
+    let (groups, fstats) = if fusion {
+        fuse_chains(groups, tile_size)
+    } else {
+        (groups, ScheduleStats::default())
+    };
+    let (groups, tstats) = tile_untiled(groups, tile_size);
+    (
+        groups,
+        ScheduleStats {
+            groups_tiled: fstats.groups_tiled + tstats.groups_tiled,
+            fusions: fstats.fusions,
+        },
+    )
+}
 
-    // Partition into maximal fusable chains (runs of consecutive groups
-    // linked producer→consumer with zero halo).
+/// The fusion pass: partitions a phase's groups into maximal fusable
+/// chains (runs of consecutive groups linked producer→consumer with zero
+/// halo) and merges each multi-group chain into a single tiled loop.
+/// Chains that cannot be fused — and all singleton chains — are passed
+/// through unchanged for [`tile_untiled`] to pick up.
+pub fn fuse_chains(groups: Vec<Group>, tile_size: Option<usize>) -> (Vec<Group>, ScheduleStats) {
+    let mut stats = ScheduleStats::default();
     let mut out: Vec<Group> = Vec::new();
     let mut i = 0;
     while i < groups.len() {
         let mut chain = vec![groups[i].clone()];
         let mut strides: Vec<usize> = Vec::new(); // link i -> i+1
-        if fusion {
-            while i + 1 < groups.len() {
-                let next = &groups[i + 1];
-                match link_stride(chain.last().unwrap(), next) {
-                    Some(s) => {
-                        strides.push(s);
-                        chain.push(next.clone());
-                        i += 1;
-                    }
-                    None => break,
+        while i + 1 < groups.len() {
+            let next = &groups[i + 1];
+            match link_stride(chain.last().unwrap(), next) {
+                Some(s) => {
+                    strides.push(s);
+                    chain.push(next.clone());
+                    i += 1;
                 }
+                None => break,
             }
         }
         i += 1;
 
         if chain.len() == 1 {
-            let g = chain.pop().unwrap();
-            match tile_single(g, &mut stats, tile_size) {
-                Ok(t) => out.push(t),
-                Err(g) => out.push(g),
-            }
+            out.append(&mut chain);
         } else {
             match fuse_chain(chain, &strides, &mut stats, tile_size) {
                 Ok(g) => out.push(g),
-                Err(mut originals) => {
-                    // Fall back to tiling each group independently.
-                    for g in originals.drain(..) {
-                        match tile_single(g, &mut stats, tile_size) {
-                            Ok(t) => out.push(t),
-                            Err(g) => out.push(g),
-                        }
-                    }
-                }
+                // Leave the originals untiled; the tiling pass tiles each
+                // independently.
+                Err(mut originals) => out.append(&mut originals),
             }
         }
     }
+    (out, stats)
+}
+
+/// The tiling pass: tiles the outermost spatial loop of every group that
+/// does not already carry one (fused groups emerge from [`fuse_chains`]
+/// pre-tiled). Groups with no tileable statement pass through unchanged.
+pub fn tile_untiled(groups: Vec<Group>, tile_size: Option<usize>) -> (Vec<Group>, ScheduleStats) {
+    let mut stats = ScheduleStats::default();
+    let out = groups
+        .into_iter()
+        .map(|g| {
+            let already = g
+                .stmts
+                .iter()
+                .any(|s| matches!(s, Stmt::For(l) if l.annot.tiled.is_some()));
+            if already {
+                return g;
+            }
+            match tile_single(g, &mut stats, tile_size) {
+                Ok(t) => t,
+                Err(g) => g,
+            }
+        })
+        .collect();
     (out, stats)
 }
 

@@ -100,6 +100,49 @@ pub struct InputBinding {
     pub len: usize,
 }
 
+/// Per-pass record written by the pass manager: one entry for every pass
+/// in the pipeline, whether it ran or was disabled by the
+/// [`OptLevel`](crate::OptLevel), so `CompileStats` is populated
+/// uniformly across all configurations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStat {
+    /// The pass's name, e.g. `"pattern-match"`.
+    pub name: String,
+    /// Whether the `OptLevel` enabled the pass (disabled passes record
+    /// zero time and no size change).
+    pub enabled: bool,
+    /// Wall time the pass took, in microseconds.
+    pub wall_micros: u128,
+    /// Group count (both phases) before the pass ran.
+    pub groups_before: usize,
+    /// Group count (both phases) after the pass ran.
+    pub groups_after: usize,
+    /// Total IR statement count (both phases, nested statements included)
+    /// before the pass ran.
+    pub stmts_before: usize,
+    /// Total IR statement count after the pass ran.
+    pub stmts_after: usize,
+}
+
+impl PassStat {
+    /// One-line human-readable rendering, used by reports.
+    pub fn render(&self) -> String {
+        if self.enabled {
+            format!(
+                "{:<20} {:>8} us  groups {:>3} -> {:<3} stmts {:>5} -> {:<5}",
+                self.name,
+                self.wall_micros,
+                self.groups_before,
+                self.groups_after,
+                self.stmts_before,
+                self.stmts_after
+            )
+        } else {
+            format!("{:<20} (disabled)", self.name)
+        }
+    }
+}
+
 /// Statistics recorded by the compiler, used by tests and reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CompileStats {
@@ -115,6 +158,10 @@ pub struct CompileStats {
     /// Number of staging buffer dimensions dropped by shared-variable
     /// analysis.
     pub dims_dropped: usize,
+    /// Per-pass timing and IR-size deltas, in pipeline order. One entry
+    /// per pass regardless of `OptLevel`, so every compile populates the
+    /// same rows.
+    pub passes: Vec<PassStat>,
 }
 
 /// A compiled network: the runtime's entire input.

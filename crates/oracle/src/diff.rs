@@ -317,7 +317,10 @@ fn compare_subject(
     let mut exec = Executor::with_registry(
         subject,
         &KernelRegistry::with_builtins(),
-        ExecConfig { threads },
+        ExecConfig {
+            threads,
+            ..ExecConfig::default()
+        },
     )?;
     for (ensemble, data) in inputs {
         exec.set_input(ensemble, data)?;

@@ -1,0 +1,170 @@
+//! Differential coverage for the liveness arena (`ExecConfig::arena`).
+//!
+//! The arena changes *where buffers live*, never *what they hold*: for
+//! every harness net and every standard optimization configuration, an
+//! arena-on executor must produce bit-identical contents for every
+//! buffer it still materializes, and a structured
+//! [`RuntimeError::BufferRetired`] — never another buffer's stale bytes —
+//! for every buffer it retired.
+
+mod common;
+
+use common::{classifier_net, conv_net, fc_net, fusion_chain, lstm_net, TestNet};
+use latte_core::{compile, OptLevel};
+use latte_oracle::standard_configs;
+use latte_runtime::registry::KernelRegistry;
+use latte_runtime::{ExecConfig, Executor, RuntimeError};
+
+fn executor(t: &TestNet, opt: &OptLevel, arena: bool) -> Executor {
+    let compiled = compile(&t.net, opt).expect("compile");
+    let mut exec = Executor::with_registry(
+        compiled,
+        &KernelRegistry::with_builtins(),
+        ExecConfig { threads: 1, arena },
+    )
+    .expect("lower");
+    for (ensemble, data) in &t.inputs {
+        exec.set_input(ensemble, data).expect("input");
+    }
+    exec
+}
+
+/// Runs one training step arena-off and arena-on and compares every
+/// buffer bit-for-bit. Returns how many buffers the arena retired.
+fn assert_bit_identical(t: &TestNet, opt: &OptLevel, label: &str) -> usize {
+    let mut off = executor(t, opt, false);
+    let mut on = executor(t, opt, true);
+    off.forward();
+    off.backward();
+    on.forward();
+    on.backward();
+    assert_eq!(
+        off.loss().to_bits(),
+        on.loss().to_bits(),
+        "[{label}] loss diverged under the arena"
+    );
+
+    let names: Vec<String> = off
+        .compiled()
+        .buffers
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    let mut retired = 0;
+    for name in names {
+        let reference = off
+            .read_buffer(&name)
+            .expect("every buffer is readable without the arena");
+        match on.read_buffer(&name) {
+            Ok(v) => {
+                assert_eq!(
+                    v.len(),
+                    reference.len(),
+                    "[{label}] `{name}` length diverged under the arena"
+                );
+                for (i, (a, b)) in reference.iter().zip(&v).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "[{label}] `{name}`[{i}]: {a} vs {b}"
+                    );
+                }
+            }
+            // Retired contents are unavailable *as a structured error*;
+            // any other failure (or stale data, caught above) is a bug.
+            Err(RuntimeError::BufferRetired { .. }) => retired += 1,
+            Err(e) => panic!("[{label}] `{name}`: unexpected error {e}"),
+        }
+    }
+    retired
+}
+
+#[test]
+fn fc_net_is_bit_identical_across_all_configs() {
+    let t = fc_net();
+    for (label, opt) in standard_configs() {
+        assert_bit_identical(&t, &opt, &format!("fc/{label}"));
+    }
+}
+
+#[test]
+fn conv_net_is_bit_identical_across_all_configs() {
+    let t = conv_net();
+    for (label, opt) in standard_configs() {
+        assert_bit_identical(&t, &opt, &format!("conv/{label}"));
+    }
+}
+
+#[test]
+fn fusion_chain_is_bit_identical_across_all_configs() {
+    let t = fusion_chain();
+    for (label, opt) in standard_configs() {
+        assert_bit_identical(&t, &opt, &format!("fusion/{label}"));
+    }
+}
+
+#[test]
+fn classifier_net_is_bit_identical_across_all_configs() {
+    let t = classifier_net();
+    for (label, opt) in standard_configs() {
+        assert_bit_identical(&t, &opt, &format!("classifier/{label}"));
+    }
+}
+
+#[test]
+fn lstm_net_is_bit_identical_across_all_configs() {
+    let t = lstm_net(2);
+    for (label, opt) in standard_configs() {
+        assert_bit_identical(&t, &opt, &format!("lstm/{label}"));
+    }
+}
+
+/// The paper's memory argument, measurably: on the conv→ReLU→pool→fc
+/// reference net the packed arena allocates strictly fewer floats than
+/// one-buffer-per-declaration, and actually retires something (so the
+/// bit-identity sweep above exercises the `BufferRetired` path, not just
+/// the trivial all-retained layout).
+#[test]
+fn arena_shrinks_fusion_chain_footprint() {
+    let t = fusion_chain();
+    let retired = assert_bit_identical(&t, &OptLevel::full(), "fusion/full");
+    assert!(retired > 0, "expected the arena to retire some buffer");
+
+    let off = executor(&t, &OptLevel::full(), false);
+    let on = executor(&t, &OptLevel::full(), true);
+    assert!(
+        on.allocated_elements() < off.allocated_elements(),
+        "arena footprint {} should beat per-declaration footprint {}",
+        on.allocated_elements(),
+        off.allocated_elements()
+    );
+    assert!(on.plan().arena());
+    assert!(!off.plan().arena());
+}
+
+/// A second training step must behave identically too: slot recycling
+/// from step 1 must not leak into step 2 (zero-on-entry resets every
+/// occupant).
+#[test]
+fn second_step_stays_bit_identical() {
+    let t = fusion_chain();
+    let mut off = executor(&t, &OptLevel::full(), false);
+    let mut on = executor(&t, &OptLevel::full(), true);
+    for _ in 0..2 {
+        off.forward();
+        off.backward();
+        on.forward();
+        on.backward();
+    }
+    assert_eq!(off.loss().to_bits(), on.loss().to_bits());
+    let grads: Vec<String> = off.params().iter().map(|p| p.grad.clone()).collect();
+    assert!(!grads.is_empty());
+    for p in grads {
+        let a = off.read_buffer(&p).expect("param grad");
+        let b = on.read_buffer(&p).expect("param grads are retained");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "`{p}` diverged on step 2");
+        }
+    }
+}

@@ -76,6 +76,17 @@ pub enum RuntimeError {
         /// What went wrong inside the worker.
         source: Box<RuntimeError>,
     },
+    /// The buffer exists in the program but its contents are not
+    /// materialized under the liveness arena: either its storage slot was
+    /// reclaimed by a later-live buffer (expired) or it is never touched
+    /// by any statement and was given no storage (dead). Raised instead
+    /// of ever returning another buffer's stale bytes.
+    BufferRetired {
+        /// The buffer name.
+        name: String,
+        /// Why the contents are unavailable.
+        detail: String,
+    },
 }
 
 impl RuntimeError {
@@ -133,6 +144,10 @@ impl PartialEq for RuntimeError {
                 Worker { worker: a, source: sa },
                 Worker { worker: b, source: sb },
             ) => a == b && sa == sb,
+            (
+                BufferRetired { name: a, detail: da },
+                BufferRetired { name: b, detail: db },
+            ) => a == b && da == db,
             _ => false,
         }
     }
@@ -169,6 +184,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Worker { worker, source } => {
                 write!(f, "worker {worker} failed: {source}")
+            }
+            RuntimeError::BufferRetired { name, detail } => {
+                write!(f, "buffer `{name}` is not materialized: {detail}")
             }
         }
     }

@@ -35,8 +35,9 @@ use crate::error::RuntimeError;
 use crate::health::{scan_slice, BufferAnomaly, SentinelMode};
 use crate::lower::{
     BatchedGemm, CCopy, CExpr, CExtern, CGather, CGemm, CGroup, CRef, FastKind, InnerLoop,
-    Kernel, Plan, Segment,
+    Kernel, Segment,
 };
+use crate::plan::ExecutionPlan;
 use crate::registry::{ExternInvocation, KernelRegistry};
 use crate::store::BufferStore;
 
@@ -49,11 +50,20 @@ thread_local! {
 pub struct ExecConfig {
     /// Worker threads for batch-parallel groups. `1` disables threading.
     pub threads: usize,
+    /// Pack transient buffers into a liveness-planned arena: buffers
+    /// whose live ranges never overlap share storage, shrinking
+    /// [`Executor::allocated_elements`]. Off by default; results are
+    /// bit-identical either way, but reading a buffer the arena retired
+    /// returns [`RuntimeError::BufferRetired`] instead of data.
+    pub arena: bool,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { threads: 1 }
+        ExecConfig {
+            threads: 1,
+            arena: false,
+        }
     }
 }
 
@@ -154,7 +164,7 @@ unsafe fn build_frame(
 /// [`Executor::backward`] execute it for one batch.
 pub struct Executor {
     net: CompiledNet,
-    plan: Plan,
+    plan: ExecutionPlan,
     store: BufferStore,
     cfg: ExecConfig,
 }
@@ -163,8 +173,9 @@ impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Executor")
             .field("batch", &self.net.batch)
-            .field("forward_groups", &self.plan.forward.len())
-            .field("backward_groups", &self.plan.backward.len())
+            .field("forward_groups", &self.plan.forward_groups())
+            .field("backward_groups", &self.plan.backward_groups())
+            .field("arena", &self.plan.arena())
             .finish_non_exhaustive()
     }
 }
@@ -191,8 +202,10 @@ impl Executor {
         registry: &KernelRegistry,
         cfg: ExecConfig,
     ) -> Result<Self, RuntimeError> {
-        let store = BufferStore::new(&net.buffers, net.batch)?;
-        let plan = crate::lower::lower(&net, &store, registry, net.vectorize)?;
+        let layout = cfg.arena.then(|| crate::plan::liveness_layout(&net));
+        let store = BufferStore::with_layout(&net.buffers, net.batch, layout.as_ref())?;
+        let lowered = crate::lower::lower(&net, &store, registry, net.vectorize)?;
+        let plan = ExecutionPlan::new(lowered, layout.as_ref());
         let mut exec = Executor {
             net,
             plan,
@@ -201,6 +214,11 @@ impl Executor {
         };
         exec.reset_params()?;
         Ok(exec)
+    }
+
+    /// The execution plan driving this executor.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
     }
 
     /// Re-initializes every parameter buffer from its declared initial
@@ -233,7 +251,9 @@ impl Executor {
         &self.net.params
     }
 
-    /// Total floats allocated (memory metric for ablations).
+    /// Total floats actually allocated (memory metric for ablations).
+    /// Under [`ExecConfig::arena`] this reports the packed arena
+    /// footprint, which is smaller than the sum of buffer sizes.
     pub fn allocated_elements(&self) -> usize {
         self.store.total_elements()
     }
@@ -284,83 +304,93 @@ impl Executor {
         self.store.write(name, data)
     }
 
-    /// Runs forward propagation for the current batch.
-    pub fn forward(&mut self) {
-        let plan = std::mem::replace(
-            &mut self.plan,
-            Plan {
-                forward: Vec::new(),
-                backward: Vec::new(),
-                n_slots: 0,
-            },
-        );
-        for g in &plan.forward {
-            self.run_group(g, plan.n_slots);
+    /// The single plan-execution path behind every public entry point:
+    /// runs one phase's groups in order, performing the plan's per-group
+    /// arena zero-fills, with optional per-group timing and optional
+    /// per-group sentinel scanning layered on as instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Only with `sentinel`: the first [`BufferAnomaly`] found after a
+    /// group; remaining groups are skipped.
+    fn run_phase(
+        &mut self,
+        backward: bool,
+        mut timing: Option<&mut Vec<(String, f64)>>,
+        sentinel: Option<usize>,
+    ) -> Result<(), BufferAnomaly> {
+        if backward {
+            self.store.zero_grads();
+            self.store.zero_param_grads();
+        }
+        let plan = std::mem::replace(&mut self.plan, ExecutionPlan::empty());
+        let batch = self.net.batch;
+        let mut trip = None;
+        'groups: for (gi, g) in plan.groups(backward).iter().enumerate() {
+            // A buffer entering its live range reuses whatever bytes its
+            // slot's previous occupant left; zeroing here restores the
+            // freshly-allocated semantics every kernel was written for.
+            for &(backing, len) in &plan.zeroes(backward)[gi] {
+                self.store.storages[backing][..len].fill(0.0);
+            }
+            let t0 = timing.is_some().then(std::time::Instant::now);
+            self.run_group(g, plan.n_slots());
+            if let (Some(out), Some(t0)) = (timing.as_deref_mut(), t0) {
+                out.push((g.name.clone(), t0.elapsed().as_secs_f64() * 1e3));
+            }
+            if let Some(stride) = sentinel {
+                let mut seen = std::collections::HashSet::new();
+                for (bi, b) in g.bufs.iter().enumerate() {
+                    if !seen.insert(b.storage) {
+                        continue;
+                    }
+                    // Scan only the binding's own span: an arena slot may
+                    // be larger than its current occupant.
+                    let len = b.per_item * if b.batched { batch } else { 1 };
+                    let view = &self.store.storages[b.storage][..len];
+                    if let Some((index, class)) = scan_slice(view, stride) {
+                        trip = Some(BufferAnomaly {
+                            buffer: format!("{}#{bi}", g.name),
+                            index,
+                            class,
+                        });
+                        break 'groups;
+                    }
+                }
+            }
         }
         self.plan = plan;
+        match trip {
+            Some(a) => Err(a),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs forward propagation for the current batch.
+    pub fn forward(&mut self) {
+        let _ = self.run_phase(false, None, None);
     }
 
     /// Runs backward propagation (zeroing activation and parameter
     /// gradients first).
     pub fn backward(&mut self) {
-        self.store.zero_grads();
-        self.store.zero_param_grads();
-        let plan = std::mem::replace(
-            &mut self.plan,
-            Plan {
-                forward: Vec::new(),
-                backward: Vec::new(),
-                n_slots: 0,
-            },
-        );
-        for g in &plan.backward {
-            self.run_group(g, plan.n_slots);
-        }
-        self.plan = plan;
+        let _ = self.run_phase(true, None, None);
     }
 
     /// Runs forward propagation, returning per-group wall-clock
     /// milliseconds — the per-layer profile used by the Figure-15
     /// breakdown and the cluster simulator.
     pub fn forward_timed(&mut self) -> Vec<(String, f64)> {
-        let plan = std::mem::replace(
-            &mut self.plan,
-            Plan {
-                forward: Vec::new(),
-                backward: Vec::new(),
-                n_slots: 0,
-            },
-        );
-        let mut out = Vec::with_capacity(plan.forward.len());
-        for g in &plan.forward {
-            let t0 = std::time::Instant::now();
-            self.run_group(g, plan.n_slots);
-            out.push((g.name.clone(), t0.elapsed().as_secs_f64() * 1e3));
-        }
-        self.plan = plan;
+        let mut out = Vec::new();
+        let _ = self.run_phase(false, Some(&mut out), None);
         out
     }
 
     /// Runs backward propagation, returning per-group wall-clock
     /// milliseconds.
     pub fn backward_timed(&mut self) -> Vec<(String, f64)> {
-        self.store.zero_grads();
-        self.store.zero_param_grads();
-        let plan = std::mem::replace(
-            &mut self.plan,
-            Plan {
-                forward: Vec::new(),
-                backward: Vec::new(),
-                n_slots: 0,
-            },
-        );
-        let mut out = Vec::with_capacity(plan.backward.len());
-        for g in &plan.backward {
-            let t0 = std::time::Instant::now();
-            self.run_group(g, plan.n_slots);
-            out.push((g.name.clone(), t0.elapsed().as_secs_f64() * 1e3));
-        }
-        self.plan = plan;
+        let mut out = Vec::new();
+        let _ = self.run_phase(true, Some(&mut out), None);
         out
     }
 
@@ -430,13 +460,17 @@ impl Executor {
             if !kinds(kind) {
                 continue;
             }
-            let Some(info) = self.store.info(name) else {
+            // Arena-retired buffers have no contents of their own to
+            // scan; `scan_view` yields each visible buffer's logical
+            // span, never a slot co-resident's bytes.
+            let Some(view) = self.store.scan_view(name) else {
                 continue;
             };
-            if !seen.insert(info.storage) {
+            let storage = self.store.info(name).expect("visible buffer").storage;
+            if !seen.insert(storage) {
                 continue;
             }
-            if let Some((index, class)) = scan_slice(&self.store.storages[info.storage], stride) {
+            if let Some((index, class)) = scan_slice(view, stride) {
                 out.push(BufferAnomaly { buffer: name.to_string(), index, class });
             }
         }
@@ -455,42 +489,7 @@ impl Executor {
     /// have not run, so buffer contents are mixed-iteration and the
     /// caller should treat the pass (and its loss) as poisoned.
     pub fn forward_guarded(&mut self, mode: SentinelMode) -> Result<(), BufferAnomaly> {
-        let Some(stride) = mode.stride() else {
-            self.forward();
-            return Ok(());
-        };
-        let plan = std::mem::replace(
-            &mut self.plan,
-            Plan {
-                forward: Vec::new(),
-                backward: Vec::new(),
-                n_slots: 0,
-            },
-        );
-        let mut trip = None;
-        'groups: for g in &plan.forward {
-            self.run_group(g, plan.n_slots);
-            let mut seen = std::collections::HashSet::new();
-            for (bi, b) in g.bufs.iter().enumerate() {
-                if !seen.insert(b.storage) {
-                    continue;
-                }
-                if let Some((index, class)) = scan_slice(&self.store.storages[b.storage], stride)
-                {
-                    trip = Some(BufferAnomaly {
-                        buffer: format!("{}#{bi}", g.name),
-                        index,
-                        class,
-                    });
-                    break 'groups;
-                }
-            }
-        }
-        self.plan = plan;
-        match trip {
-            Some(a) => Err(a),
-            None => Ok(()),
-        }
+        self.run_phase(false, None, mode.stride())
     }
 
     fn run_group(&mut self, g: &CGroup, n_slots: usize) {
@@ -630,10 +629,13 @@ impl Executor {
         let base = self.store.storages.as_mut_ptr();
         let mut views: Vec<&mut [f32]> = Vec::with_capacity(e.bufs.len());
         for &i in &e.bufs {
-            let s = g.bufs[i].storage;
+            let b = &g.bufs[i];
+            // Clamp each view to the binding's logical span — an arena
+            // slot may be larger than its current occupant.
+            let len = b.per_item * if b.batched { batch } else { 1 };
             // SAFETY: lowering rejects duplicate storages per extern, so
             // these views are disjoint.
-            views.push(unsafe { (*base.add(s)).as_mut_slice() });
+            views.push(unsafe { &mut (*base.add(b.storage)).as_mut_slice()[..len] });
         }
         let mut inv = ExternInvocation {
             attrs: &e.attrs,

@@ -7,6 +7,9 @@
 //!
 //! * [`Executor`] — lowers a `latte_core::CompiledNet` to native kernels
 //!   and runs forward/backward passes over an allocated buffer store.
+//! * [`ExecutionPlan`] — the lowered groups plus the liveness-planned
+//!   buffer arena (`ExecConfig::arena`) that lets non-overlapping
+//!   intermediates share storage.
 //! * [`solver`] — SGD (+momentum, LR policies), RMSProp, AdaGrad, and the
 //!   `solve` training loop.
 //! * [`data`] — synthetic datasets and the double-buffered input loader.
@@ -44,6 +47,7 @@ pub mod metrics;
 mod exec;
 mod lower;
 pub mod parallel;
+mod plan;
 pub mod registry;
 pub mod solver;
 pub mod store;
@@ -51,3 +55,4 @@ pub mod supervisor;
 
 pub use error::RuntimeError;
 pub use exec::{ExecConfig, Executor};
+pub use plan::ExecutionPlan;

@@ -1,0 +1,302 @@
+//! Execution planning: buffer liveness analysis, the arena memory layout,
+//! and the [`ExecutionPlan`] the executor drives.
+//!
+//! Lowering (`lower.rs`) turns the compiler's groups into kernels; this
+//! module decides *where buffers live* and *when their storage may be
+//! reused*. The liveness pass walks both phases' groups in execution
+//! order, computes each alias class's first/last access, and packs
+//! non-overlapping classes into shared arena slots — the batched
+//! intermediate activations and gradients of a deep net rarely all need
+//! to exist at once, so peak memory drops well below the sum of buffer
+//! sizes.
+//!
+//! Safety properties the layout preserves:
+//!
+//! * two classes share a slot only when their live ranges are strictly
+//!   disjoint (the earlier class's last access precedes the later's
+//!   first), so no kernel ever observes a co-resident's bytes;
+//! * every arena class is zeroed at its first-access group, making
+//!   accumulating writes (`+=` gradients, scatter copies, bias-then-GEMM
+//!   inits) start from the same state a freshly allocated buffer would;
+//! * classes whose first touch is a pure read, stateful kinds
+//!   (`State`/`SharedState`), parameters, input bindings, and loss
+//!   buffers are *retained* — they keep private storage and the exact
+//!   semantics of the non-arena store;
+//! * classes no statement touches get no storage at all (*dead*), and a
+//!   class evicted by a later slot occupant is *expired*; reading either
+//!   through the store yields a structured
+//!   [`RuntimeError::BufferRetired`](crate::error::RuntimeError) rather
+//!   than stale data.
+
+use std::collections::HashMap;
+
+use latte_core::CompiledNet;
+use latte_ir::BufferKind;
+
+use crate::lower::{CGroup, Plan};
+use crate::store::Visibility;
+
+/// The arena memory layout for one compiled net: where every alias class
+/// lives and what must be zeroed when.
+#[derive(Debug, Clone)]
+pub(crate) struct MemoryLayout {
+    /// Per alias class (primary declarations in order): backing index.
+    pub backing_of_class: Vec<usize>,
+    /// Element count of each backing vector.
+    pub backing_len: Vec<usize>,
+    /// Whether each backing is a shared arena slot (skipped by the
+    /// store's global gradient zeroing; zeroed per-group instead).
+    pub backing_arena: Vec<bool>,
+    /// Post-run visibility of each class.
+    pub class_vis: Vec<Visibility>,
+    /// `(global group position, backing, elements)` fills to run before
+    /// the group at that position executes.
+    pub zero_on_entry: Vec<(usize, usize, usize)>,
+}
+
+struct ClassInfo {
+    total_len: usize,
+    retained: bool,
+    first: Option<usize>,
+    last: usize,
+    /// First top-level statement touching the class reads it without
+    /// writing it.
+    read_first: bool,
+}
+
+/// Computes the liveness-based arena layout for a compiled net.
+pub(crate) fn liveness_layout(net: &CompiledNet) -> MemoryLayout {
+    let batch = net.batch;
+
+    // Alias classes: one per primary declaration; aliases resolve to
+    // their (transitive) root's class.
+    let mut class_of: HashMap<&str, usize> = HashMap::new();
+    let mut classes: Vec<ClassInfo> = Vec::new();
+    for decl in &net.buffers {
+        // An alias joins its (transitive) root's class. A missing target
+        // gets a private class here; the store rejects it with a proper
+        // `BadAlias` during allocation.
+        let root = decl
+            .alias_of
+            .as_ref()
+            .and_then(|t| class_of.get(t.as_str()).copied());
+        let class = match root {
+            Some(c) => c,
+            None => {
+                let total = decl.len() * if decl.kind.is_batched() { batch } else { 1 };
+                classes.push(ClassInfo {
+                    total_len: total,
+                    retained: false,
+                    first: None,
+                    last: 0,
+                    read_first: false,
+                });
+                classes.len() - 1
+            }
+        };
+        class_of.insert(&decl.name, class);
+        // Stateful and externally-written kinds anywhere in the class pin
+        // it to private storage.
+        if matches!(
+            decl.kind,
+            BufferKind::Param | BufferKind::ParamGrad | BufferKind::State | BufferKind::SharedState
+        ) {
+            classes[class].retained = true;
+        }
+    }
+    // Input bindings are written from outside any group (`set_input`),
+    // loss buffers are read from outside (`loss()`).
+    for name in net
+        .inputs
+        .iter()
+        .map(|i| i.buffer.as_str())
+        .chain(net.losses.iter().map(String::as_str))
+    {
+        if let Some(&c) = class_of.get(name) {
+            classes[c].retained = true;
+        }
+    }
+
+    // Access positions: forward groups first, then backward, matching
+    // execution order of one training step.
+    for (pos, group) in net.forward.iter().chain(&net.backward).enumerate() {
+        for stmt in &group.stmts {
+            let writes = stmt.written_buffers();
+            for name in stmt.read_buffers() {
+                let c = class_of[name.as_str()];
+                let info = &mut classes[c];
+                if info.first.is_none() && !writes.contains(&name) {
+                    info.read_first = true;
+                }
+                info.first.get_or_insert(pos);
+                info.last = pos;
+            }
+            for name in &writes {
+                let c = class_of[name.as_str()];
+                let info = &mut classes[c];
+                info.first.get_or_insert(pos);
+                info.last = pos;
+            }
+        }
+    }
+
+    // Greedy interval packing: arena-eligible classes in first-access
+    // order, first slot whose previous occupant died strictly earlier.
+    struct Slot {
+        backing: usize,
+        last: usize,
+        occupant: usize,
+    }
+    let mut backing_len: Vec<usize> = Vec::new();
+    let mut backing_arena: Vec<bool> = Vec::new();
+    let mut backing_of_class = vec![usize::MAX; classes.len()];
+    let mut class_vis = vec![Visibility::Retained; classes.len()];
+    let mut zero_on_entry: Vec<(usize, usize, usize)> = Vec::new();
+
+    // Retained and dead classes first (stable backing numbering), arena
+    // classes collected for packing.
+    let mut arena_classes: Vec<usize> = Vec::new();
+    for (c, info) in classes.iter().enumerate() {
+        if info.retained || (info.read_first && info.first.is_some()) {
+            backing_of_class[c] = backing_len.len();
+            backing_len.push(info.total_len);
+            backing_arena.push(false);
+            class_vis[c] = Visibility::Retained;
+        } else if info.first.is_none() {
+            // Never touched by any statement: no storage at all.
+            backing_of_class[c] = backing_len.len();
+            backing_len.push(0);
+            backing_arena.push(false);
+            class_vis[c] = Visibility::Dead;
+        } else {
+            arena_classes.push(c);
+        }
+    }
+    arena_classes.sort_by_key(|&c| (classes[c].first.unwrap(), c));
+
+    let mut slots: Vec<Slot> = Vec::new();
+    for &c in &arena_classes {
+        let first = classes[c].first.unwrap();
+        let last = classes[c].last;
+        let slot = slots.iter_mut().find(|s| s.last < first);
+        let backing = match slot {
+            Some(s) => {
+                class_vis[s.occupant] = Visibility::Expired;
+                s.last = last;
+                s.occupant = c;
+                backing_len[s.backing] = backing_len[s.backing].max(classes[c].total_len);
+                s.backing
+            }
+            None => {
+                let backing = backing_len.len();
+                backing_len.push(classes[c].total_len);
+                backing_arena.push(true);
+                slots.push(Slot {
+                    backing,
+                    last,
+                    occupant: c,
+                });
+                backing
+            }
+        };
+        backing_of_class[c] = backing;
+        class_vis[c] = Visibility::Final;
+        zero_on_entry.push((first, backing, classes[c].total_len));
+    }
+
+    MemoryLayout {
+        backing_of_class,
+        backing_len,
+        backing_arena,
+        class_vis,
+        zero_on_entry,
+    }
+}
+
+/// The executor's whole program: the lowered kernel groups of both phases
+/// plus the arena bookkeeping that must run between them. Built once per
+/// [`Executor`](crate::Executor); the executor itself is a thin driver
+/// over this plan.
+#[derive(Debug)]
+pub struct ExecutionPlan {
+    pub(crate) lowered: Plan,
+    /// Per forward group: `(backing, elements)` fills before the group.
+    pub(crate) zero_fwd: Vec<Vec<(usize, usize)>>,
+    /// Per backward group: `(backing, elements)` fills before the group.
+    pub(crate) zero_bwd: Vec<Vec<(usize, usize)>>,
+    arena: bool,
+}
+
+impl ExecutionPlan {
+    pub(crate) fn new(lowered: Plan, layout: Option<&MemoryLayout>) -> Self {
+        let n_fwd = lowered.forward.len();
+        let n_bwd = lowered.backward.len();
+        let mut zero_fwd = vec![Vec::new(); n_fwd];
+        let mut zero_bwd = vec![Vec::new(); n_bwd];
+        if let Some(layout) = layout {
+            for &(pos, backing, len) in &layout.zero_on_entry {
+                if pos < n_fwd {
+                    zero_fwd[pos].push((backing, len));
+                } else {
+                    zero_bwd[pos - n_fwd].push((backing, len));
+                }
+            }
+        }
+        ExecutionPlan {
+            lowered,
+            zero_fwd,
+            zero_bwd,
+            arena: layout.is_some(),
+        }
+    }
+
+    /// An empty placeholder plan (used to temporarily take ownership of
+    /// the real plan during execution).
+    pub(crate) fn empty() -> Self {
+        ExecutionPlan {
+            lowered: Plan {
+                forward: Vec::new(),
+                backward: Vec::new(),
+                n_slots: 0,
+            },
+            zero_fwd: Vec::new(),
+            zero_bwd: Vec::new(),
+            arena: false,
+        }
+    }
+
+    pub(crate) fn groups(&self, backward: bool) -> &[CGroup] {
+        if backward {
+            &self.lowered.backward
+        } else {
+            &self.lowered.forward
+        }
+    }
+
+    pub(crate) fn n_slots(&self) -> usize {
+        self.lowered.n_slots
+    }
+
+    pub(crate) fn zeroes(&self, backward: bool) -> &[Vec<(usize, usize)>] {
+        if backward {
+            &self.zero_bwd
+        } else {
+            &self.zero_fwd
+        }
+    }
+
+    /// Whether this plan packs buffers into a liveness arena.
+    pub fn arena(&self) -> bool {
+        self.arena
+    }
+
+    /// Number of lowered forward groups.
+    pub fn forward_groups(&self) -> usize {
+        self.lowered.forward.len()
+    }
+
+    /// Number of lowered backward groups.
+    pub fn backward_groups(&self) -> usize {
+        self.lowered.backward.len()
+    }
+}

@@ -13,6 +13,24 @@ use latte_tensor::Shape;
 
 use crate::error::RuntimeError;
 
+/// Whether (and how) a buffer's contents can be observed through the
+/// store after a run. Everything is [`Visibility::Retained`] in the
+/// default layout; the liveness arena introduces the other states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Private storage, exactly the non-arena semantics.
+    Retained,
+    /// Lives in a shared arena slot as its *last* occupant: contents are
+    /// valid after a run, reads see the buffer's logical length.
+    Final,
+    /// Lived in a shared arena slot but a later buffer reclaimed it;
+    /// reads and writes fail with a structured error instead of exposing
+    /// the current occupant's bytes.
+    Expired,
+    /// No statement touches the buffer, so the arena gave it no storage.
+    Dead,
+}
+
 /// Resolved placement of one named buffer.
 #[derive(Debug, Clone)]
 pub struct BufInfo {
@@ -26,6 +44,18 @@ pub struct BufInfo {
     pub kind: BufferKind,
     /// The declared per-item shape.
     pub shape: Shape,
+    /// Arena visibility (always [`Visibility::Retained`] without the
+    /// arena).
+    pub vis: Visibility,
+}
+
+impl BufInfo {
+    /// The buffer's logical element count: `per_item` times the batch for
+    /// batched buffers. Equals the storage length for retained buffers;
+    /// arena slots may be larger (sized for their largest occupant).
+    pub fn logical_len(&self, batch: usize) -> usize {
+        self.per_item * if self.batched { batch } else { 1 }
+    }
 }
 
 /// All allocated storage for one compiled network instance.
@@ -35,36 +65,81 @@ pub struct BufferStore {
     infos: HashMap<String, BufInfo>,
     /// Primary declaration kind per storage (for phase zeroing).
     storage_kinds: Vec<BufferKind>,
+    /// Per storage: shared arena slot (excluded from global zeroing; the
+    /// execution plan zeroes occupants at their first-access group).
+    arena_storages: Vec<bool>,
     pub(crate) storages: Vec<Vec<f32>>,
 }
 
 impl BufferStore {
-    /// Allocates storage for a buffer plan.
+    /// Allocates storage for a buffer plan, one private storage per
+    /// primary declaration (aliases share their target's).
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::BadAlias`] when an alias target is missing
     /// or incompatible.
     pub fn new(decls: &[BufferDecl], batch: usize) -> Result<Self, RuntimeError> {
+        Self::build(decls, batch, None)
+    }
+
+    /// Allocates storage following an explicit arena layout: classes
+    /// mapped to shared backings sized by the layout, with per-class
+    /// visibility. `None` behaves exactly like [`BufferStore::new`].
+    pub(crate) fn with_layout(
+        decls: &[BufferDecl],
+        batch: usize,
+        layout: Option<&crate::plan::MemoryLayout>,
+    ) -> Result<Self, RuntimeError> {
+        Self::build(decls, batch, layout)
+    }
+
+    fn build(
+        decls: &[BufferDecl],
+        batch: usize,
+        layout: Option<&crate::plan::MemoryLayout>,
+    ) -> Result<Self, RuntimeError> {
         let mut infos: HashMap<String, BufInfo> = HashMap::new();
-        let mut storages: Vec<Vec<f32>> = Vec::new();
-        let mut storage_kinds: Vec<BufferKind> = Vec::new();
+        let mut storages: Vec<Vec<f32>> = layout
+            .map(|l| l.backing_len.iter().map(|&n| vec![0.0; n]).collect())
+            .unwrap_or_default();
+        let mut storage_kinds: Vec<BufferKind> = vec![BufferKind::Value; storages.len()];
+        let mut arena_storages: Vec<bool> =
+            layout.map(|l| l.backing_arena.clone()).unwrap_or_default();
+        // Classes are numbered over primary declarations in order — the
+        // same numbering the layout was computed with.
+        let mut next_class = 0usize;
         for decl in decls {
             let per_item = decl.shape.len();
             let batched = decl.kind.is_batched();
             match &decl.alias_of {
                 None => {
-                    let len = if batched { per_item * batch } else { per_item };
-                    storages.push(vec![0.0; len]);
-                    storage_kinds.push(decl.kind);
+                    let class = next_class;
+                    next_class += 1;
+                    let (storage, vis) = match layout {
+                        Some(l) => (l.backing_of_class[class], l.class_vis[class]),
+                        None => {
+                            let len = if batched { per_item * batch } else { per_item };
+                            storages.push(vec![0.0; len]);
+                            storage_kinds.push(decl.kind);
+                            arena_storages.push(false);
+                            (storages.len() - 1, Visibility::Retained)
+                        }
+                    };
+                    if layout.is_some() {
+                        // Record the kind for global zeroing (arena
+                        // storages are excluded from it anyway).
+                        storage_kinds[storage] = decl.kind;
+                    }
                     infos.insert(
                         decl.name.clone(),
                         BufInfo {
-                            storage: storages.len() - 1,
+                            storage,
                             per_item,
                             batched,
                             kind: decl.kind,
                             shape: decl.shape.clone(),
+                            vis,
                         },
                     );
                 }
@@ -80,6 +155,7 @@ impl BufferStore {
                         });
                     }
                     let storage = t.storage;
+                    let vis = t.vis;
                     infos.insert(
                         decl.name.clone(),
                         BufInfo {
@@ -88,6 +164,7 @@ impl BufferStore {
                             batched,
                             kind: decl.kind,
                             shape: decl.shape.clone(),
+                            vis,
                         },
                     );
                 }
@@ -97,6 +174,7 @@ impl BufferStore {
             batch,
             infos,
             storage_kinds,
+            arena_storages,
             storages,
         })
     }
@@ -118,47 +196,92 @@ impl BufferStore {
         })
     }
 
-    /// Copies a buffer's entire storage out (all batch items).
+    /// Rejects access to buffers whose storage the arena reclaimed (or
+    /// never materialized); passes visible buffers through.
+    fn visible<'a>(&self, name: &str, info: &'a BufInfo) -> Result<&'a BufInfo, RuntimeError> {
+        match info.vis {
+            Visibility::Retained | Visibility::Final => Ok(info),
+            Visibility::Expired => Err(RuntimeError::BufferRetired {
+                name: name.to_string(),
+                detail: "its arena slot was reclaimed by a later-live buffer".to_string(),
+            }),
+            Visibility::Dead => Err(RuntimeError::BufferRetired {
+                name: name.to_string(),
+                detail: "no statement touches it, so the arena gave it no storage".to_string(),
+            }),
+        }
+    }
+
+    /// The visible contents of a buffer: its logical prefix of the
+    /// backing storage, or `None` when the arena retired it. Used by the
+    /// numerical sentinels, which must never scan a co-resident's bytes.
+    pub fn scan_view(&self, name: &str) -> Option<&[f32]> {
+        let info = self.infos.get(name)?;
+        match info.vis {
+            Visibility::Retained | Visibility::Final => {
+                Some(&self.storages[info.storage][..info.logical_len(self.batch)])
+            }
+            Visibility::Expired | Visibility::Dead => None,
+        }
+    }
+
+    /// Copies a buffer's entire logical contents out (all batch items).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown buffers, and for buffers retired by the arena
+    /// (never returns another buffer's bytes).
     pub fn read(&self, name: &str) -> Result<Vec<f32>, RuntimeError> {
-        let info = self.require(name)?;
-        Ok(self.storages[info.storage].clone())
+        let info = self.visible(name, self.require(name)?)?;
+        Ok(self.storages[info.storage][..info.logical_len(self.batch)].to_vec())
     }
 
     /// Copies one item's slice of a batched buffer (or the whole buffer
     /// when unbatched).
+    ///
+    /// # Errors
+    ///
+    /// As [`BufferStore::read`].
     pub fn read_item(&self, name: &str, item: usize) -> Result<Vec<f32>, RuntimeError> {
-        let info = self.require(name)?;
+        let info = self.visible(name, self.require(name)?)?;
         let s = &self.storages[info.storage];
         if info.batched {
             let off = item * info.per_item;
             Ok(s[off..off + info.per_item].to_vec())
         } else {
-            Ok(s.clone())
+            Ok(s[..info.per_item].to_vec())
         }
     }
 
-    /// Overwrites a buffer's entire storage.
+    /// Overwrites a buffer's entire logical contents.
     ///
     /// # Errors
     ///
-    /// Fails when `data` length differs from the storage length.
+    /// Fails when `data` length differs from the buffer's logical length,
+    /// and for buffers retired by the arena.
     pub fn write(&mut self, name: &str, data: &[f32]) -> Result<(), RuntimeError> {
-        let info = self.require(name)?.clone();
-        let s = &mut self.storages[info.storage];
-        if s.len() != data.len() {
+        let info = self.visible(name, self.require(name)?)?.clone();
+        let len = info.logical_len(self.batch);
+        if len != data.len() {
             return Err(RuntimeError::InputShape {
                 buffer: name.to_string(),
-                detail: format!("expected {} elements, got {}", s.len(), data.len()),
+                detail: format!("expected {} elements, got {}", len, data.len()),
             });
         }
-        s.copy_from_slice(data);
+        self.storages[info.storage][..len].copy_from_slice(data);
         Ok(())
     }
 
     /// Zeroes every activation-gradient storage (`Grad` and
-    /// `InputGradStage`), run before each backward pass.
+    /// `InputGradStage`), run before each backward pass. Shared arena
+    /// slots are skipped — the execution plan zeroes each occupant at its
+    /// first-access group instead, since a global fill would clobber
+    /// whatever buffer currently lives there.
     pub fn zero_grads(&mut self) {
         for (i, kind) in self.storage_kinds.iter().enumerate() {
+            if self.arena_storages.get(i).copied().unwrap_or(false) {
+                continue;
+            }
             if matches!(kind, BufferKind::Grad | BufferKind::InputGradStage) {
                 self.storages[i].fill(0.0);
             }

@@ -313,9 +313,9 @@ fn parallel_execution_matches_sequential() {
     };
     let registry = KernelRegistry::with_builtins();
     let mut seq =
-        Executor::with_registry(build(), &registry, ExecConfig { threads: 1 }).unwrap();
+        Executor::with_registry(build(), &registry, ExecConfig { threads: 1, ..ExecConfig::default() }).unwrap();
     let mut par =
-        Executor::with_registry(build(), &registry, ExecConfig { threads: 2 }).unwrap();
+        Executor::with_registry(build(), &registry, ExecConfig { threads: 2, ..ExecConfig::default() }).unwrap();
 
     let input = seeded(4 * 12 * 12, 77);
     let labels = [0.0f32, 1.0, 2.0, 3.0];

@@ -14,6 +14,13 @@ cargo test -q
 echo "==> cargo test -p latte-oracle -q (compiler-correctness oracle, fast subset)"
 cargo test -p latte-oracle -q
 
+echo "==> golden-IR snapshots (regenerate with UPDATE_GOLDEN=1 cargo test --test golden_ir)"
+cargo test --test golden_ir -q
+git diff --exit-code -- tests/golden/ || {
+  echo "tests/golden/ has uncommitted changes" >&2
+  exit 1
+}
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
