@@ -1,0 +1,358 @@
+//! Throughput harness: GEMM GFLOP/s and end-to-end images/sec across
+//! thread counts, written as machine-readable `BENCH_throughput.json`.
+//!
+//! This starts the performance trajectory the ROADMAP asks for ("as fast
+//! as the hardware allows"): every run records
+//!
+//! * **GEMM** — for each shape, the *seed* serial kernel (the axpy-style
+//!   blocked loop this PR replaced, reproduced below as the labelled
+//!   baseline), the new register-blocked serial [`Gemm::compute`], and
+//!   [`Gemm::compute_parallel`] on a persistent [`WorkerPool`] at each
+//!   requested thread count;
+//! * **end-to-end** — images/sec of full training iterations
+//!   (forward+backward) for the Figure-13 nets at each thread count.
+//!
+//! Numbers are honest medians on whatever machine runs this; speedup
+//! ratios are recorded alongside the raw throughput so regressions are
+//! visible without a reference machine.
+//!
+//! Flags: `--smoke` (tiny shapes, CI-fast), `--out <path>` (default
+//! `BENCH_throughput.json`), `--validate <path>` (parse an existing
+//! artifact, check its schema, and exit — the CI bench-smoke step).
+
+use latte_bench::json::{parse, Json};
+use latte_bench::{compile_or_die, measure, print_compile_stats, seeded};
+use latte_core::OptLevel;
+use latte_nn::models::{self, ModelConfig};
+use latte_runtime::pool::WorkerPool;
+use latte_runtime::registry::KernelRegistry;
+use latte_runtime::{ExecConfig, Executor};
+use latte_tensor::gemm::{Gemm, Transpose};
+
+/// The serial GEMM this PR replaced (the seed's packed axpy macro-kernel
+/// with its default blocking), kept verbatim as the labelled baseline so
+/// `parallel_gflops / seed_serial_gflops` measures exactly the
+/// acceptance-criterion speedup.
+fn seed_gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let (kc, nc, mc) = (256, 512, 64);
+    for jc in (0..n).step_by(nc) {
+        let nb = nc.min(n - jc);
+        for pc in (0..k).step_by(kc) {
+            let kb = kc.min(k - pc);
+            for ic in (0..m).step_by(mc) {
+                let mb = mc.min(m - ic);
+                for i in ic..ic + mb {
+                    let c_row = &mut c[i * n + jc..i * n + jc + nb];
+                    for p in pc..pc + kb {
+                        let av = a[i * k + p];
+                        let b_row = &b[p * n + jc..p * n + jc + nb];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Args {
+    smoke: bool,
+    out: String,
+    validate: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_throughput.json".to_string(),
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--validate" => args.validate = Some(it.next().expect("--validate needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; flags: --smoke --out <path> --validate <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Median seconds per call with a bench budget suited to the mode.
+fn med(smoke: bool, f: impl FnMut()) -> f64 {
+    measure(if smoke { 2 } else { 3 }, f)
+}
+
+fn gemm_section(smoke: bool, threads: &[usize]) -> Json {
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(24, 32, 40), (48, 48, 48)]
+    } else {
+        &[
+            (128, 128, 128),
+            (256, 256, 256),
+            (512, 512, 512),
+            (512, 1024, 256),
+            (31, 97, 113),
+        ]
+    };
+    // One persistent pool per thread count, built once outside the timed
+    // region — workers are never spawned inside an iteration.
+    let pools: Vec<WorkerPool> = threads.iter().map(|&t| WorkerPool::new(t)).collect();
+    let mut entries = Vec::new();
+    for &(m, n, k) in shapes {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let a = seeded(m * k, 11);
+        let b = seeded(k * n, 13);
+        let mut c = vec![0.0f32; m * n];
+
+        let t_seed = med(smoke, || {
+            c.fill(0.0);
+            seed_gemm(m, n, k, &a, &b, &mut c);
+        });
+        let mut engine = Gemm::new();
+        let t_serial = med(smoke, || {
+            c.fill(0.0);
+            engine.compute(Transpose::No, Transpose::No, m, n, k, &a, &b, &mut c);
+        });
+        let seed_gflops = flops / t_seed / 1e9;
+        let serial_gflops = flops / t_serial / 1e9;
+
+        let mut parallel = Vec::new();
+        for (pool, &t) in pools.iter().zip(threads) {
+            let t_par = med(smoke, || {
+                c.fill(0.0);
+                Gemm::compute_parallel(pool, Transpose::No, Transpose::No, m, n, k, &a, &b, &mut c);
+            });
+            let gflops = flops / t_par / 1e9;
+            println!(
+                "gemm {m}x{n}x{k}  threads={t}  {gflops:.2} GFLOP/s  ({:.2}x vs seed serial)",
+                gflops / seed_gflops
+            );
+            parallel.push(Json::obj([
+                ("threads", Json::Num(t as f64)),
+                ("gflops", Json::Num(gflops)),
+                ("speedup_vs_seed_serial", Json::Num(gflops / seed_gflops)),
+                ("speedup_vs_blocked_serial", Json::Num(gflops / serial_gflops)),
+            ]));
+        }
+        entries.push(Json::obj([
+            ("m", Json::Num(m as f64)),
+            ("n", Json::Num(n as f64)),
+            ("k", Json::Num(k as f64)),
+            ("seed_serial_gflops", Json::Num(seed_gflops)),
+            ("blocked_serial_gflops", Json::Num(serial_gflops)),
+            ("parallel", Json::Arr(parallel)),
+        ]));
+    }
+    Json::Arr(entries)
+}
+
+/// Builds the Figure-13 nets sized for the mode.
+fn fig13_nets(smoke: bool) -> Vec<(&'static str, models::Model)> {
+    let mut out = Vec::new();
+    if smoke {
+        let cfg = ModelConfig {
+            batch: 4,
+            input_size: 12,
+            channel_div: 8,
+            classes: 10,
+            with_loss: true,
+            seed: 5,
+        };
+        out.push(("lenet", models::lenet(&cfg)));
+    } else {
+        let cfg = ModelConfig {
+            batch: 8,
+            input_size: 32,
+            channel_div: 4,
+            classes: 100,
+            with_loss: true,
+            seed: 5,
+        };
+        out.push(("vgg_prefix2", models::vgg_prefix(&cfg, 2)));
+        out.push(("lenet", models::lenet(&ModelConfig { input_size: 28, ..cfg })));
+    }
+    out
+}
+
+fn e2e_section(smoke: bool, threads: &[usize]) -> Json {
+    let mut entries = Vec::new();
+    for (name, model) in fig13_nets(smoke) {
+        let batch = {
+            let compiled = compile_or_die(&model.net, &OptLevel::full(), name);
+            print_compile_stats(&compiled, name);
+            compiled.batch
+        };
+        let mut results = Vec::new();
+        let mut per_thread_ips = Vec::new();
+        for &t in threads {
+            let compiled = compile_or_die(&model.net, &OptLevel::full(), name);
+            let mut exec = Executor::with_registry(
+                compiled,
+                &KernelRegistry::with_builtins(),
+                ExecConfig { threads: t, arena: false },
+            )
+            .unwrap_or_else(|e| panic!("lowering {name}: {e}"));
+            // Feed every data ensemble the net declares (image data plus
+            // whatever drives the loss — labels or an L2 target).
+            let feeds: Vec<(String, usize)> = exec
+                .compiled()
+                .inputs
+                .iter()
+                .map(|i| (i.ensemble.clone(), i.len))
+                .collect();
+            for (seed_idx, (ensemble, len)) in feeds.iter().enumerate() {
+                let values = seeded(batch * len, 17 + seed_idx as u32);
+                exec.set_input(ensemble, &values).expect("input");
+            }
+            let iter_s = med(smoke, || {
+                exec.forward();
+                exec.backward();
+            });
+            let ips = batch as f64 / iter_s;
+            println!(
+                "e2e {name}  threads={t}  {ips:.1} images/sec  ({:.2} ms/iter)",
+                iter_s * 1e3
+            );
+            per_thread_ips.push((t, ips));
+            results.push(Json::obj([
+                ("threads", Json::Num(t as f64)),
+                ("images_per_sec", Json::Num(ips)),
+                ("iter_ms", Json::Num(iter_s * 1e3)),
+            ]));
+        }
+        let ips_at = |want: usize| {
+            per_thread_ips
+                .iter()
+                .find(|(t, _)| *t == want)
+                .map(|&(_, ips)| ips)
+        };
+        let speedup = match (ips_at(4), ips_at(1)) {
+            (Some(four), Some(one)) if one > 0.0 => Json::Num(four / one),
+            _ => Json::Null,
+        };
+        entries.push(Json::obj([
+            ("net", Json::Str(name.to_string())),
+            ("batch", Json::Num(batch as f64)),
+            ("results", Json::Arr(results)),
+            ("speedup_4t_vs_1t", speedup),
+        ]));
+    }
+    Json::Arr(entries)
+}
+
+/// Schema check for a written artifact. Returns a list of violations.
+fn validate_doc(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    if doc.get("schema").and_then(Json::as_str) != Some("latte-throughput/v1") {
+        errs.push("missing or wrong `schema` (want \"latte-throughput/v1\")".into());
+    }
+    if doc.get("threads").and_then(Json::as_arr).is_none_or(<[Json]>::is_empty) {
+        errs.push("`threads` must be a non-empty array".into());
+    }
+    match doc.get("gemm").and_then(Json::as_arr) {
+        None => errs.push("`gemm` must be an array".into()),
+        Some(entries) => {
+            if entries.is_empty() {
+                errs.push("`gemm` is empty".into());
+            }
+            for (i, e) in entries.iter().enumerate() {
+                for key in ["m", "n", "k", "seed_serial_gflops", "blocked_serial_gflops"] {
+                    if e.get(key).and_then(Json::as_num).is_none() {
+                        errs.push(format!("gemm[{i}].{key} missing or not a number"));
+                    }
+                }
+                match e.get("parallel").and_then(Json::as_arr) {
+                    None => errs.push(format!("gemm[{i}].parallel must be an array")),
+                    Some(ps) => {
+                        for (j, p) in ps.iter().enumerate() {
+                            for key in ["threads", "gflops", "speedup_vs_seed_serial"] {
+                                if p.get(key).and_then(Json::as_num).is_none() {
+                                    errs.push(format!(
+                                        "gemm[{i}].parallel[{j}].{key} missing or not a number"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    match doc.get("e2e").and_then(Json::as_arr) {
+        None => errs.push("`e2e` must be an array".into()),
+        Some(entries) => {
+            if entries.is_empty() {
+                errs.push("`e2e` is empty".into());
+            }
+            for (i, e) in entries.iter().enumerate() {
+                if e.get("net").and_then(Json::as_str).is_none() {
+                    errs.push(format!("e2e[{i}].net missing"));
+                }
+                match e.get("results").and_then(Json::as_arr) {
+                    None => errs.push(format!("e2e[{i}].results must be an array")),
+                    Some(rs) => {
+                        for (j, r) in rs.iter().enumerate() {
+                            for key in ["threads", "images_per_sec", "iter_ms"] {
+                                if r.get(key).and_then(Json::as_num).is_none() {
+                                    errs.push(format!(
+                                        "e2e[{i}].results[{j}].{key} missing or not a number"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    errs
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.validate {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+        let errs = validate_doc(&doc);
+        if errs.is_empty() {
+            println!("{path}: schema OK");
+            return;
+        }
+        for e in &errs {
+            eprintln!("{path}: {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let threads: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    println!(
+        "throughput harness ({} mode), thread counts {threads:?}, LATTE_THREADS={}",
+        if args.smoke { "smoke" } else { "full" },
+        ExecConfig::env_threads(),
+    );
+
+    let gemm = gemm_section(args.smoke, threads);
+    let e2e = e2e_section(args.smoke, threads);
+
+    let doc = Json::obj([
+        ("schema", Json::Str("latte-throughput/v1".into())),
+        ("smoke", Json::Bool(args.smoke)),
+        (
+            "threads",
+            Json::Arr(threads.iter().map(|&t| Json::Num(t as f64)).collect()),
+        ),
+        ("gemm", gemm),
+        ("e2e", e2e),
+    ]);
+    std::fs::write(&args.out, doc.render())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("wrote {}", args.out);
+}

@@ -6,11 +6,13 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::time::Instant;
 
 use latte_baselines::net::SequentialNet;
 use latte_core::{compile, CompiledNet, OptLevel};
-use latte_runtime::Executor;
+use latte_runtime::{ExecConfig, Executor};
 
 /// Which passes a measurement runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,10 +87,18 @@ pub fn executor_or_die(compiled: CompiledNet, what: &str) -> Executor {
 /// Prints the compiler's per-pass instrumentation for one compile — one
 /// row per pipeline pass with wall time and IR-size deltas (see
 /// `CompileStats::passes`), so figure runs show where compile time goes.
+/// Also prints the runtime thread count (`LATTE_THREADS`) and every
+/// group's parallel/serial schedule decision, so bench output is
+/// self-describing.
 pub fn print_compile_stats(compiled: &CompiledNet, what: &str) {
     println!("\n-- compile pipeline: {what} --");
     for p in &compiled.stats.passes {
         println!("  {}", p.render());
+    }
+    println!("  threads: {} (LATTE_THREADS)", ExecConfig::env_threads());
+    for (name, parallel) in &compiled.stats.group_parallel {
+        let decision = if *parallel { "parallel" } else { "serial" };
+        println!("  group {name:<40} {decision}");
     }
 }
 

@@ -202,6 +202,26 @@ pub fn compile_with(
     };
     passes.run(&mut state, &ctx, &mut stats)?;
 
+    // Record each group's batch-parallel decision (any loop the
+    // parallel-marking pass annotated) so reports and bench runs can
+    // print the schedule without re-deriving it from the IR.
+    stats.group_parallel = state
+        .forward
+        .iter()
+        .chain(&state.backward)
+        .map(|g| {
+            let mut parallel = false;
+            for stmt in &g.stmts {
+                stmt.visit(&mut |st| {
+                    if let latte_ir::Stmt::For(l) = st {
+                        parallel |= l.annot.parallel;
+                    }
+                });
+            }
+            (g.name.clone(), parallel)
+        })
+        .collect();
+
     Ok(CompiledNet {
         batch: net.batch(),
         buffers: s.buffers,

@@ -162,6 +162,11 @@ pub struct CompileStats {
     /// per pass regardless of `OptLevel`, so every compile populates the
     /// same rows.
     pub passes: Vec<PassStat>,
+    /// Every group's batch-parallel decision, `(group name, parallel)`,
+    /// forward groups first then backward — whether the parallel-marking
+    /// pass annotated the group's loops for the worker pool's static
+    /// interleaved schedule. Makes bench output self-describing.
+    pub group_parallel: Vec<(String, bool)>,
 }
 
 /// A compiled network: the runtime's entire input.

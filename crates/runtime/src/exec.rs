@@ -6,12 +6,19 @@
 //! with a static interleaved schedule), while hoisted whole-batch GEMMs
 //! and whole-batch extern kernels run once.
 //!
-//! Parameter gradients are shared across batch items; under parallel
-//! execution each worker accumulates into a private scratch copy which is
-//! reduced afterwards — the paper's synchronized-reduction mode ("a small
-//! performance overhead during back-propagation"). The *lossy* mode of
-//! Section 3.1 is exercised at the data-parallel-training level in
+//! Parameter gradients are shared across batch items; for parallel
+//! groups each of [`GRAD_LANES`] fixed *lanes* accumulates a private
+//! scratch copy which is reduced afterwards in lane order — the paper's
+//! synchronized-reduction mode ("a small performance overhead during
+//! back-propagation"), structured so results are **bit-identical for any
+//! thread count** (see [`crate::pool`]). The *lossy* mode of Section 3.1
+//! is exercised at the data-parallel-training level in
 //! [`crate::parallel`].
+//!
+//! All threaded work — parallel per-item groups and partitioned batched
+//! GEMMs — runs on one persistent [`WorkerPool`] created with the
+//! executor; nothing on the per-iteration path spawns threads or
+//! allocates scratch.
 //!
 //! # Safety architecture
 //!
@@ -25,8 +32,6 @@
 //! index in-bounds for all loop values, so the hot path uses
 //! `debug_assert`-checked accesses.
 
-use std::cell::RefCell;
-
 use latte_core::{CompiledNet, ParamBinding};
 use latte_ir::{AssignOp, BinOp, UnaryOp};
 use latte_tensor::gemm::{Gemm, Transpose};
@@ -38,17 +43,16 @@ use crate::lower::{
     Kernel, Segment,
 };
 use crate::plan::ExecutionPlan;
+use crate::pool::{WorkerPool, GRAD_LANES};
 use crate::registry::{ExternInvocation, KernelRegistry};
 use crate::store::BufferStore;
-
-thread_local! {
-    static GEMM_ENGINE: RefCell<Gemm> = RefCell::new(Gemm::new());
-}
 
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
-    /// Worker threads for batch-parallel groups. `1` disables threading.
+    /// Worker threads for batch-parallel groups and partitioned batched
+    /// GEMMs. `1` disables threading. The default comes from the
+    /// `LATTE_THREADS` environment variable ([`ExecConfig::env_threads`]).
     pub threads: usize,
     /// Pack transient buffers into a liveness-planned arena: buffers
     /// whose live ranges never overlap share storage, shrinking
@@ -58,10 +62,22 @@ pub struct ExecConfig {
     pub arena: bool,
 }
 
+impl ExecConfig {
+    /// The worker-thread count requested by the `LATTE_THREADS`
+    /// environment variable; `1` when unset, unparsable, or zero.
+    pub fn env_threads() -> usize {
+        std::env::var("LATTE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    }
+}
+
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
-            threads: 1,
+            threads: Self::env_threads(),
             arena: false,
         }
     }
@@ -167,6 +183,9 @@ pub struct Executor {
     plan: ExecutionPlan,
     store: BufferStore,
     cfg: ExecConfig,
+    /// The persistent worker team (and its per-worker GEMM engines and
+    /// lane scratch), created once here and reused by every iteration.
+    pool: WorkerPool,
 }
 
 impl std::fmt::Debug for Executor {
@@ -210,10 +229,16 @@ impl Executor {
             net,
             plan,
             store,
+            pool: WorkerPool::new(cfg.threads),
             cfg,
         };
         exec.reset_params()?;
         Ok(exec)
+    }
+
+    /// The worker-thread count this executor runs with.
+    pub fn threads(&self) -> usize {
+        self.cfg.threads.max(1)
     }
 
     /// The execution plan driving this executor.
@@ -499,39 +524,37 @@ impl Executor {
                 Segment::Batched(b) => self.run_batched_gemm(b),
                 Segment::ExternWhole(e) => self.run_extern_whole(g, e),
                 Segment::PerItem(kernels) => {
-                    let threads = if g.parallel {
-                        self.cfg.threads.min(batch).max(1)
+                    if g.parallel {
+                        // Parallel groups take the lane-scratch path at
+                        // EVERY thread count (including 1): the lane
+                        // structure fixes the gradient summation order,
+                        // which is what makes threads=4 bit-identical to
+                        // threads=1.
+                        self.run_items_parallel(g, kernels, n_slots);
                     } else {
-                        1
-                    };
-                    let base = self.store.storages.as_mut_ptr();
-                    if threads <= 1 {
-                        let mut env = vec![0i64; n_slots.max(1)];
-                        for item in 0..batch {
-                            // SAFETY: single-threaded exclusive access
-                            // through `&mut self`.
-                            let frame = unsafe { build_frame(base, g, item, None) };
-                            for k in kernels {
-                                exec_kernel(k, &mut env, &frame, batch, g, item);
+                        let base = self.store.storages.as_mut_ptr();
+                        self.pool.with_caller_ctx(|ctx| {
+                            let mut env = vec![0i64; n_slots.max(1)];
+                            for item in 0..batch {
+                                // SAFETY: single-threaded exclusive access
+                                // through `&mut self`.
+                                let frame = unsafe { build_frame(base, g, item, None) };
+                                for k in kernels {
+                                    exec_kernel(k, &mut env, &frame, batch, g, item, &mut ctx.gemm);
+                                }
                             }
-                        }
-                    } else {
-                        self.run_items_parallel(g, kernels, threads, n_slots);
+                        });
                     }
                 }
             }
         }
     }
 
-    /// Static interleaved schedule across a scoped worker pool, with
-    /// per-thread parameter-gradient scratch reduced afterwards.
-    fn run_items_parallel(
-        &mut self,
-        g: &CGroup,
-        kernels: &[Kernel],
-        threads: usize,
-        n_slots: usize,
-    ) {
+    /// Static interleaved schedule across the persistent pool, with
+    /// fixed-lane parameter-gradient scratch reduced afterwards in lane
+    /// order (see [`crate::pool`] for the determinism argument). Lane
+    /// scratch is pool-owned: zeroed per group, never reallocated.
+    fn run_items_parallel(&mut self, g: &CGroup, kernels: &[Kernel], n_slots: usize) {
         let batch = self.net.batch;
         let pg_storages: Vec<usize> = {
             let mut v: Vec<usize> = g
@@ -544,61 +567,79 @@ impl Executor {
             v.dedup();
             v
         };
-        let mut scratches: Vec<Vec<Vec<f32>>> = (0..threads)
-            .map(|_| {
-                pg_storages
-                    .iter()
-                    .map(|&s| vec![0.0f32; self.store.storages[s].len()])
-                    .collect()
-            })
+        let sizes: Vec<usize> = pg_storages
+            .iter()
+            .map(|&s| self.store.storages[s].len())
             .collect();
+        // Lane count is capped by the batch (tail lanes would be empty)
+        // but NEVER depends on the thread count.
+        let n_lanes = GRAD_LANES.min(batch.max(1));
+        let lane_scratch = self.pool.lane_scratch(n_lanes, &sizes);
 
-        #[derive(Clone, Copy)]
-        struct SendBase(*mut Vec<f32>);
-        // SAFETY: threads access disjoint batched slices; shared
-        // (unbatched) storages are read-only or redirected to scratch.
-        unsafe impl Send for SendBase {}
-        unsafe impl Sync for SendBase {}
-        let base = SendBase(self.store.storages.as_mut_ptr());
+        /// Everything the item job needs, bundled so one `unsafe impl
+        /// Sync` covers the raw pointers (base storage + lane spans).
+        struct ItemJob<'a> {
+            base: *mut Vec<f32>,
+            g: &'a CGroup,
+            kernels: &'a [Kernel],
+            pg: &'a [usize],
+            lanes: &'a [Vec<(*mut f32, usize)>],
+            batch: usize,
+            n_lanes: usize,
+            n_slots: usize,
+            nt: usize,
+        }
+        // SAFETY: workers access disjoint batched slices; shared
+        // (unbatched) storages are read-only or redirected to lane
+        // scratch, and each lane is owned by exactly one worker.
+        unsafe impl Sync for ItemJob<'_> {}
 
-        crossbeam::scope(|scope| {
-            for (tid, scratch) in scratches.iter_mut().enumerate() {
-                let pg = &pg_storages;
-                let scratch_ptrs: Vec<(*mut f32, usize)> = scratch
-                    .iter_mut()
-                    .map(|s| (s.as_mut_ptr(), s.len()))
-                    .collect();
-                struct SendScratch(Vec<(*mut f32, usize)>);
-                unsafe impl Send for SendScratch {}
-                let scratch_ptrs = SendScratch(scratch_ptrs);
-                scope.spawn(move |_| {
-                    let base = base;
-                    let scratch_ptrs = scratch_ptrs;
-                    let mut env = vec![0i64; n_slots.max(1)];
-                    // schedule(static, 1): interleave items across threads.
-                    let mut item = tid;
-                    while item < batch {
-                        // SAFETY: see module docs; per-thread scratch
-                        // pointers are exclusive to this thread.
-                        let frame = unsafe {
-                            build_frame(base.0, g, item, Some((pg, &scratch_ptrs.0)))
-                        };
-                        for k in kernels {
-                            exec_kernel(k, &mut env, &frame, batch, g, item);
-                        }
-                        item += threads;
+        let job = ItemJob {
+            base: self.store.storages.as_mut_ptr(),
+            g,
+            kernels,
+            pg: &pg_storages,
+            lanes: &lane_scratch,
+            batch,
+            n_lanes,
+            n_slots,
+            nt: self.pool.threads(),
+        };
+        self.pool.run(&|tid, ctx| {
+            let j = &job;
+            let mut env = vec![0i64; j.n_slots.max(1)];
+            // schedule(static, 1) over lanes: worker `tid` owns lanes
+            // tid, tid+nt, …; lane `l` owns items l, l+L, … — an
+            // item→accumulator mapping independent of the worker count.
+            let mut lane = tid;
+            while lane < j.n_lanes {
+                let scratch = &j.lanes[lane];
+                let mut item = lane;
+                while item < j.batch {
+                    // SAFETY: see module docs; this lane's scratch
+                    // pointers are exclusive to this worker.
+                    let frame =
+                        unsafe { build_frame(j.base, j.g, item, Some((j.pg, scratch))) };
+                    for k in j.kernels {
+                        exec_kernel(k, &mut env, &frame, j.batch, j.g, item, &mut ctx.gemm);
                     }
-                });
+                    item += j.n_lanes;
+                }
+                lane += j.nt;
             }
-        })
-        .expect("worker pool panicked");
+        });
 
-        // Synchronized reduction of per-thread gradients.
+        // Synchronized reduction, folding lanes in lane order — the same
+        // association for every thread count.
         for (si, &storage) in pg_storages.iter().enumerate() {
             let main = &mut self.store.storages[storage];
-            for scratch in &scratches {
-                for (m, s) in main.iter_mut().zip(&scratch[si]) {
-                    *m += s;
+            for lane in &lane_scratch {
+                let (ptr, len) = lane[si];
+                // SAFETY: the job finished; the caller again has exclusive
+                // access to every lane span.
+                let s = unsafe { std::slice::from_raw_parts(ptr, len) };
+                for (m, v) in main.iter_mut().zip(s) {
+                    *m += v;
                 }
             }
         }
@@ -617,9 +658,9 @@ impl Executor {
         };
         let ta = if b.ta { Transpose::Yes } else { Transpose::No };
         let tb = if b.tb { Transpose::Yes } else { Transpose::No };
-        GEMM_ENGINE.with(|e| {
-            e.borrow_mut().compute(ta, tb, b.m, b.n, b.k, a, bb, c);
-        });
+        // Whole-batch GEMMs are the FLOP majority for FC layers: partition
+        // macro-tiles across the pool (bit-identical for any worker count).
+        Gemm::compute_parallel(&self.pool, ta, tb, b.m, b.n, b.k, a, bb, c);
     }
 
     fn run_extern_whole(&mut self, g: &CGroup, e: &CExtern) {
@@ -649,14 +690,24 @@ impl Executor {
     }
 }
 
-/// Executes one kernel for one batch item.
-fn exec_kernel(k: &Kernel, env: &mut [i64], frame: &Frame, batch: usize, g: &CGroup, item: usize) {
+/// Executes one kernel for one batch item. `gemm` is the executing
+/// worker's persistent engine (its packing buffers are reused across
+/// items and iterations).
+fn exec_kernel(
+    k: &Kernel,
+    env: &mut [i64],
+    frame: &Frame,
+    batch: usize,
+    g: &CGroup,
+    item: usize,
+    gemm: &mut Gemm,
+) {
     match k {
         Kernel::Loop { slot, extent, body } => {
             for v in 0..*extent {
                 env[*slot] = v as i64;
                 for k in body {
-                    exec_kernel(k, env, frame, batch, g, item);
+                    exec_kernel(k, env, frame, batch, g, item, gemm);
                 }
             }
         }
@@ -666,7 +717,7 @@ fn exec_kernel(k: &Kernel, env: &mut [i64], frame: &Frame, batch: usize, g: &CGr
             let d = &frame.bufs[a.dest.buf];
             d.write(a.dest.idx.eval(env), a.op, v);
         }
-        Kernel::Gemm(gm) => exec_gemm(gm, env, frame),
+        Kernel::Gemm(gm) => exec_gemm(gm, env, frame, gemm),
         Kernel::Copy(c) => exec_copy(c, env, frame),
         Kernel::Gather(ga) => exec_gather(ga, frame),
         Kernel::Extern(e) => {
@@ -947,7 +998,7 @@ fn run_unit_fast_binary(inner: &InnerLoop, env: &[i64], frame: &Frame) -> bool {
     }
 }
 
-fn exec_gemm(g: &CGemm, env: &[i64], frame: &Frame) {
+fn exec_gemm(g: &CGemm, env: &[i64], frame: &Frame, engine: &mut Gemm) {
     // Operand sizes are transpose-invariant (k*m == m*k).
     let a_need = g.m * g.k;
     let b_need = g.k * g.n;
@@ -956,9 +1007,7 @@ fn exec_gemm(g: &CGemm, env: &[i64], frame: &Frame) {
     let c = frame.bufs[g.c.buf].slice_mut(g.c.idx.eval(env), g.m * g.n);
     let ta = if g.ta { Transpose::Yes } else { Transpose::No };
     let tb = if g.tb { Transpose::Yes } else { Transpose::No };
-    GEMM_ENGINE.with(|e| {
-        e.borrow_mut().compute(ta, tb, g.m, g.n, g.k, a, b, c);
-    });
+    engine.compute(ta, tb, g.m, g.n, g.k, a, b, c);
 }
 
 fn exec_copy(c: &CCopy, env: &[i64], frame: &Frame) {

@@ -13,6 +13,9 @@
 //! * [`solver`] — SGD (+momentum, LR policies), RMSProp, AdaGrad, and the
 //!   `solve` training loop.
 //! * [`data`] — synthetic datasets and the double-buffered input loader.
+//! * [`pool`] — the persistent worker pool (the paper's
+//!   `schedule(static, 1)` OpenMP team): per-worker GEMM engines,
+//!   pool-owned gradient-lane scratch, deterministic static interleaving.
 //! * [`parallel`] — intra-node data parallelism with synchronized or
 //!   *lossy* gradient accumulation (Figure 20).
 //! * [`accel`] — the simulated-coprocessor chunk scheduler (Figure 17).
@@ -48,6 +51,7 @@ mod exec;
 mod lower;
 pub mod parallel;
 mod plan;
+pub mod pool;
 pub mod registry;
 pub mod solver;
 pub mod store;

@@ -13,6 +13,7 @@
 //!   updates can be lost, exactly the unsynchronized in-place updates the
 //!   paper enables for `∇`-named fields.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use latte_core::CompiledNet;
@@ -20,6 +21,7 @@ use latte_core::CompiledNet;
 use crate::data::Batch;
 use crate::error::RuntimeError;
 use crate::exec::Executor;
+use crate::pool::WorkerPool;
 
 /// How worker gradients combine into the master copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +49,9 @@ pub struct DataParallelConfig {
 pub struct DataParallelTrainer {
     cfg: DataParallelConfig,
     workers: Vec<Executor>,
+    /// The persistent replica-driving team: one slot per replica, created
+    /// once here and reused by every [`DataParallelTrainer::step`].
+    pool: WorkerPool,
     /// Master parameter values, one vector per parameter binding.
     master: Vec<Vec<f32>>,
     velocity: Vec<Vec<f32>>,
@@ -95,6 +100,7 @@ impl DataParallelTrainer {
             lr_mults.push(b.lr_mult);
         }
         Ok(DataParallelTrainer {
+            pool: WorkerPool::new(cfg.workers),
             cfg,
             workers,
             master,
@@ -138,16 +144,40 @@ impl DataParallelTrainer {
                 w.write_buffer(name, values)?;
             }
         }
-        // Parallel forward/backward. Handles are joined inside the scope
-        // so a panicking worker is consumed as a structured result
-        // instead of re-panicking the scope at its implicit join.
-        let results: Vec<Result<f32, RuntimeError>> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .zip(shards)
-                .map(|(w, shard)| {
-                    scope.spawn(move |_| -> Result<f32, RuntimeError> {
+        // Parallel forward/backward on the persistent pool: team worker
+        // `tid` drives replicas tid, tid+T, … (static interleave). Each
+        // replica's result slot is written only by its owner; panics are
+        // caught *inside* the job so they surface as structured
+        // per-worker results instead of poisoning the team.
+        let n = self.workers.len();
+        let nt = self.pool.threads();
+        let mut results: Vec<Option<Result<f32, RuntimeError>>> = (0..n).map(|_| None).collect();
+        {
+            struct StepJob<'a> {
+                workers: *mut Executor,
+                results: *mut Option<Result<f32, RuntimeError>>,
+                shards: &'a [Batch],
+                n: usize,
+                nt: usize,
+            }
+            // SAFETY: replica i and result slot i are touched only by team
+            // worker i % nt — accesses are disjoint per worker.
+            unsafe impl Sync for StepJob<'_> {}
+            let job = StepJob {
+                workers: self.workers.as_mut_ptr(),
+                results: results.as_mut_ptr(),
+                shards,
+                n,
+                nt,
+            };
+            self.pool.run(&|tid, _ctx| {
+                let j = &job;
+                let mut i = tid;
+                while i < j.n {
+                    // SAFETY: see StepJob — slot i is exclusively ours.
+                    let w = unsafe { &mut *j.workers.add(i) };
+                    let shard = &j.shards[i];
+                    let res = catch_unwind(AssertUnwindSafe(|| -> Result<f32, RuntimeError> {
                         for (ensemble, values) in shard {
                             w.set_input(ensemble, values)?;
                         }
@@ -155,27 +185,24 @@ impl DataParallelTrainer {
                         let loss = w.loss();
                         w.backward();
                         Ok(loss)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|p| {
+                    }))
+                    .unwrap_or_else(|p| {
                         Err(RuntimeError::Interrupted {
                             detail: format!(
                                 "worker thread panicked: {}",
                                 crate::error::panic_message(p.as_ref())
                             ),
                         })
-                    })
-                })
-                .collect()
-        })
-        .expect("worker scope");
+                    });
+                    // SAFETY: see StepJob — slot i is exclusively ours.
+                    unsafe { *j.results.add(i) = Some(res) };
+                    i += j.nt;
+                }
+            });
+        }
         let mut losses = Vec::with_capacity(results.len());
         for (worker, result) in results.into_iter().enumerate() {
-            match result {
+            match result.expect("every replica slot is filled by its owner") {
                 Ok(loss) => losses.push(loss),
                 Err(e) => {
                     return Err(RuntimeError::Worker { worker, source: Box::new(e) });
@@ -216,22 +243,21 @@ impl DataParallelTrainer {
                     .collect::<Result<_, _>>()?;
                 let views: Vec<&[AtomicU32]> =
                     combined.iter_mut().map(|c| atomic_view(c)).collect();
-                crossbeam::scope(|scope| {
-                    for grads in &worker_grads {
-                        let views = &views;
-                        scope.spawn(move |_| {
-                            for (g, view) in grads.iter().zip(views.iter()) {
-                                for (x, cell) in g.iter().zip(view.iter()) {
-                                    // Non-atomic read-modify-write through
-                                    // atomic cells: lost updates possible.
-                                    let cur = f32::from_bits(cell.load(Ordering::Relaxed));
-                                    cell.store((cur + x).to_bits(), Ordering::Relaxed);
-                                }
+                let nt = self.pool.threads();
+                self.pool.run(&|tid, _ctx| {
+                    let mut i = tid;
+                    while i < worker_grads.len() {
+                        for (g, view) in worker_grads[i].iter().zip(views.iter()) {
+                            for (x, cell) in g.iter().zip(view.iter()) {
+                                // Non-atomic read-modify-write through
+                                // atomic cells: lost updates possible.
+                                let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+                                cell.store((cur + x).to_bits(), Ordering::Relaxed);
                             }
-                        });
+                        }
+                        i += nt;
                     }
-                })
-                .expect("lossy accumulation scope panicked");
+                });
             }
         }
 

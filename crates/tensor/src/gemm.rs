@@ -8,13 +8,37 @@
 //! the paper evaluates ("Because both Latte and Caffe use MKL, ... they have
 //! the same performance for computing these fully-connected layers").
 //!
-//! Two implementations are provided:
+//! Three implementations are provided:
 //!
 //! * [`gemm_naive`] — textbook triple loop, the correctness oracle.
-//! * [`Gemm`] — cache-blocked kernel: operands are packed into contiguous
-//!   row-major panels, then a k-blocked, j-innermost loop accumulates with
-//!   good locality and auto-vectorizable inner loops. Block sizes are
-//!   configurable so the ablation benchmark can sweep them.
+//! * [`Gemm::compute`] — the library kernel, structured after the
+//!   Goto/BLIS decomposition: operands are packed into zero-padded
+//!   micro-panels (`MR`-row A panels, `NR`-column B panels), then an
+//!   explicit register-blocked `MR x NR` micro-kernel accumulates each
+//!   output tile in registers over the whole `kc` block. On x86-64 with
+//!   AVX2+FMA available the micro-kernel runs a `target_feature` copy
+//!   emitting vector FMAs; elsewhere an auto-vectorized fallback runs.
+//! * [`Gemm::compute_parallel`] — the same tile decomposition with the
+//!   `(ic, jc)` macro-tile grid statically partitioned across a worker
+//!   pool ([`GemmPool`]). Every output element is produced by exactly one
+//!   worker with a k-order independent of the partition, so results are
+//!   **bit-identical** for any worker count (including the serial
+//!   [`Gemm::compute`] with the same block sizes).
+//!
+//! Block sizes are configurable so the ablation benchmark can sweep them.
+
+/// Rows of the register-blocked micro-kernel (A micro-panel height).
+pub const MR: usize = 4;
+/// Columns of the register-blocked micro-kernel (B micro-panel width).
+pub const NR: usize = 16;
+
+/// Below this many multiply-adds a GEMM is not worth fanning out; the
+/// parallel entry runs it on one worker instead.
+const MIN_PARALLEL_FLOPS: usize = 2 * 64 * 64 * 64;
+
+/// Outputs at most this narrow take the register-resident row fast path
+/// instead of the tiled kernel.
+const NARROW: usize = 32;
 
 /// Whether an operand of [`Gemm::compute`] is transposed.
 ///
@@ -83,6 +107,27 @@ pub fn gemm_naive(
     }
 }
 
+/// A worker pool the parallel GEMM entry can fan tiles out over.
+///
+/// `latte-runtime`'s persistent pool implements this; tests may implement
+/// it with scoped threads or even sequentially (the partitioning is
+/// correct for any execution order).
+///
+/// # Contract
+///
+/// * `run_gemm(job)` must invoke `job(tid, engine)` exactly once for every
+///   `tid` in `0..threads()`, each invocation with exclusive access to its
+///   own engine, and return only after all invocations complete.
+/// * All engines must share identical [`Gemm::blocking`] — the static
+///   tile partition is computed independently by every worker and is only
+///   consistent when the tile grids agree.
+pub trait GemmPool {
+    /// Number of workers `run_gemm` drives.
+    fn threads(&self) -> usize;
+    /// Runs `job(tid, engine)` on every worker and waits for completion.
+    fn run_gemm(&self, job: &(dyn Fn(usize, &mut Gemm) + Sync));
+}
+
 /// Cache-blocked GEMM engine with configurable block sizes.
 ///
 /// The engine owns packing buffers so repeated calls (the common case inside
@@ -104,6 +149,8 @@ pub struct Gemm {
     kc: usize,
     nc: usize,
     mc: usize,
+    /// Whether the AVX2+FMA micro-kernel is usable on this host.
+    fma: bool,
     pack_a: Vec<f32>,
     pack_b: Vec<f32>,
 }
@@ -114,6 +161,15 @@ impl Default for Gemm {
     }
 }
 
+/// `C` handed to worker closures: workers write disjoint tile regions.
+#[derive(Clone, Copy)]
+struct CPtr {
+    ptr: *mut f32,
+    len: usize,
+}
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
 impl Gemm {
     /// Creates an engine with block sizes tuned for typical L1/L2 caches.
     pub fn new() -> Self {
@@ -123,8 +179,9 @@ impl Gemm {
     /// Creates an engine with explicit `(kc, nc, mc)` block sizes.
     ///
     /// `kc` is the reduction-dimension block, `nc` the column block held in
-    /// cache, `mc` the row block. Exposed so the block-size ablation bench
-    /// can sweep the design space.
+    /// cache, `mc` the row block. Blocks need not be multiples of
+    /// [`MR`]/[`NR`] — panels are zero-padded. Exposed so the block-size
+    /// ablation bench can sweep the design space.
     ///
     /// # Panics
     ///
@@ -135,6 +192,7 @@ impl Gemm {
             kc,
             nc,
             mc,
+            fma: detect_fma(),
             pack_a: Vec::new(),
             pack_b: Vec::new(),
         }
@@ -148,7 +206,9 @@ impl Gemm {
     /// Computes `C += op(A) * op(B)`.
     ///
     /// Shapes follow [`gemm_naive`]. Results are identical to the reference
-    /// up to floating-point reassociation of the `k` reduction.
+    /// up to floating-point reassociation of the `k` reduction, and
+    /// bit-identical to [`Gemm::compute_parallel`] with the same block
+    /// sizes on the same host.
     ///
     /// # Panics
     ///
@@ -169,88 +229,234 @@ impl Gemm {
         if m == 0 || n == 0 || k == 0 {
             return;
         }
-        // Narrow-output micro-kernel: with n small the j-inner loop of the
-        // blocked kernel is mostly overhead, so accumulate each output row
-        // in a register-resident array instead (the B panel fits in L1).
-        const NARROW: usize = 32;
-        if n <= NARROW && ta == Transpose::No && tb == Transpose::No {
-            let mut acc = [0.0f32; NARROW];
-            for i in 0..m {
-                let arow = &a[i * k..i * k + k];
-                let crow = &mut c[i * n..i * n + n];
-                acc[..n].copy_from_slice(crow);
-                for (p, &av) in arow.iter().enumerate() {
-                    let brow = &b[p * n..p * n + n];
-                    for (ac, bv) in acc[..n].iter_mut().zip(brow) {
-                        *ac += av * bv;
-                    }
-                }
-                crow.copy_from_slice(&acc[..n]);
-            }
+        if self.narrow_fast_path(ta, tb, m, n, k, a, b, c) {
             return;
         }
-        if n <= NARROW && tb == Transpose::Yes && ta == Transpose::No {
+        let cp = CPtr { ptr: c.as_mut_ptr(), len: c.len() };
+        // SAFETY: a single part owns every tile; `c` is exclusively
+        // borrowed.
+        unsafe { self.compute_tiles(ta, tb, m, n, k, a, b, cp, 0, 1) };
+    }
+
+    /// Computes `C += op(A) * op(B)` with the `(ic, jc)` macro-tile grid
+    /// statically partitioned across `pool`'s workers.
+    ///
+    /// Every output element is produced by exactly one worker, with the
+    /// reduction over `k` blocked identically regardless of the worker
+    /// count — so the result is bit-identical to [`Gemm::compute`] with
+    /// the same blocking, for *any* pool size. Small or narrow problems
+    /// run on worker 0 only (fan-out overhead would dominate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is shorter than its shape requires, or if a
+    /// worker panics.
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
+    pub fn compute_parallel(
+        pool: &dyn GemmPool,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+    ) {
+        check_lens(ta, tb, m, n, k, a.len(), b.len(), c.len());
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let cp = CPtr { ptr: c.as_mut_ptr(), len: c.len() };
+        // Serial cases: narrow outputs (register-row path), problems too
+        // small to amortize a fan-out, or a single-worker pool.
+        let serial = pool.threads() <= 1
+            || is_narrow(ta, tb, n)
+            || 2 * m * n * k < MIN_PARALLEL_FLOPS;
+        if serial {
+            pool.run_gemm(&|tid, eng| {
+                // Bind the whole CPtr (not its fields) so the closure
+                // captures the Sync wrapper, not the raw pointer.
+                let out_c = cp;
+                if tid == 0 {
+                    // SAFETY: only worker 0 touches `c`, which the caller
+                    // exclusively borrows for the duration of run_gemm.
+                    let cs = unsafe { std::slice::from_raw_parts_mut(out_c.ptr, out_c.len) };
+                    eng.compute(ta, tb, m, n, k, a, b, cs);
+                }
+            });
+            return;
+        }
+        let nt = pool.threads();
+        pool.run_gemm(&|tid, eng| {
+            // As above: move the Sync wrapper into the closure whole.
+            let grid_c = cp;
+            let n_tiles = m.div_ceil(eng.mc) * n.div_ceil(eng.nc);
+            let nparts = nt.min(n_tiles);
+            if tid < nparts {
+                // SAFETY: parts write disjoint macro-tiles of `c` (tile
+                // index mod nparts), and all engines share one blocking
+                // per the GemmPool contract.
+                unsafe { eng.compute_tiles(ta, tb, m, n, k, a, b, grid_c, tid, nparts) };
+            }
+        });
+    }
+
+    /// Narrow-output fast path: with `n` small the tiled kernel is mostly
+    /// pack/pad overhead, so accumulate each output row in a
+    /// register-resident array over the full `k` instead (the B panel
+    /// fits in L1). Returns `false` when the shape does not qualify.
+    #[allow(clippy::too_many_arguments)]
+    fn narrow_fast_path(
+        &mut self,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+    ) -> bool {
+        if !is_narrow(ta, tb, n) {
+            return false;
+        }
+        let pb: &[f32] = if tb == Transpose::Yes {
             // B stored (n x k): per-element dot products would be scalar
             // reductions, which LLVM will not vectorize under strict FP.
-            // Transposing B into a tiny (k x n) panel (k*n ≤ 32k floats)
-            // turns the inner loop into independent lanes instead.
-            pack(Transpose::Yes, k, n, b, &mut self.pack_b);
-            let pb = &self.pack_b;
-            let mut acc = [0.0f32; NARROW];
-            for i in 0..m {
-                let arow = &a[i * k..i * k + k];
-                let crow = &mut c[i * n..i * n + n];
-                acc[..n].copy_from_slice(crow);
-                for (p, &av) in arow.iter().enumerate() {
-                    let brow = &pb[p * n..p * n + n];
-                    for (ac, bv) in acc[..n].iter_mut().zip(brow) {
-                        *ac += av * bv;
-                    }
+            // Transposing B into a tiny (k x n) panel turns the inner
+            // loop into independent lanes instead.
+            self.pack_b.clear();
+            self.pack_b.reserve(k * n);
+            for p in 0..k {
+                for j in 0..n {
+                    self.pack_b.push(b[j * k + p]);
                 }
-                crow.copy_from_slice(&acc[..n]);
             }
-            return;
-        }
-        // Pack transposed operands into contiguous row-major panels;
-        // packing is O(mk + kn) against O(mnk) compute and removes the
-        // transpose branch from the hot loop. Non-transposed operands are
-        // already in the layout the macro-kernel wants and are used
-        // directly.
-        if ta == Transpose::Yes {
-            pack(ta, m, k, a, &mut self.pack_a);
-        }
-        if tb == Transpose::Yes {
-            pack(tb, k, n, b, &mut self.pack_b);
-        }
-        let pa: &[f32] = if ta == Transpose::Yes {
-            &self.pack_a
-        } else {
-            &a[..m * k]
-        };
-        let pb: &[f32] = if tb == Transpose::Yes {
             &self.pack_b
         } else {
             &b[..k * n]
         };
+        let mut acc = [0.0f32; NARROW];
+        for i in 0..m {
+            let arow = &a[i * k..i * k + k];
+            let crow = &mut c[i * n..i * n + n];
+            acc[..n].copy_from_slice(crow);
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &pb[p * n..p * n + n];
+                for (ac, bv) in acc[..n].iter_mut().zip(brow) {
+                    *ac += av * bv;
+                }
+            }
+            crow.copy_from_slice(&acc[..n]);
+        }
+        true
+    }
 
-        for jc in (0..n).step_by(self.nc) {
-            let nb = self.nc.min(n - jc);
-            for pc in (0..k).step_by(self.kc) {
-                let kb = self.kc.min(k - pc);
-                for ic in (0..m).step_by(self.mc) {
-                    let mb = self.mc.min(m - ic);
-                    // Macro-kernel: i over rows, p over the k-block, j
-                    // innermost so the compiler vectorizes the fma over a
-                    // contiguous row of packed B and C.
-                    for i in ic..ic + mb {
-                        let c_row = &mut c[i * n + jc..i * n + jc + nb];
-                        for p in pc..pc + kb {
-                            let av = pa[i * k + p];
-                            let b_row = &pb[p * n + jc..p * n + jc + nb];
-                            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                                *cv += av * bv;
-                            }
-                        }
+    /// Computes the macro-tiles whose flat index `t ≡ part (mod nparts)`
+    /// over the `(jc, ic)` grid, looping `pc` blocks innermost per column
+    /// so each tile's k-reduction order is partition-invariant.
+    ///
+    /// # Safety
+    ///
+    /// Concurrent callers must use distinct `part` values under one
+    /// common `nparts` and identical blocking, so tile writes to `c` are
+    /// disjoint. `c` must cover `m * n` elements and outlive the call.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn compute_tiles(
+        &mut self,
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: CPtr,
+        part: usize,
+        nparts: usize,
+    ) {
+        debug_assert!(c.len >= m * n);
+        let (kc, nc, mc) = (self.kc, self.nc, self.mc);
+        let n_ic = m.div_ceil(mc);
+        let n_jc = n.div_ceil(nc);
+        // Ensure pack capacity once; panels overwrite (and re-pad) fully.
+        let cap_a = mc.div_ceil(MR) * MR * kc;
+        let cap_b = nc.div_ceil(NR) * NR * kc;
+        if self.pack_a.len() < cap_a {
+            self.pack_a.resize(cap_a, 0.0);
+        }
+        if self.pack_b.len() < cap_b {
+            self.pack_b.resize(cap_b, 0.0);
+        }
+        for jci in 0..n_jc {
+            let owns_any = (0..n_ic).any(|ici| (jci * n_ic + ici) % nparts == part);
+            if !owns_any {
+                continue;
+            }
+            let jc = jci * nc;
+            let nb = nc.min(n - jc);
+            for pc in (0..k).step_by(kc) {
+                let kb = kc.min(k - pc);
+                pack_b_panels(tb, b, k, n, pc, kb, jc, nb, &mut self.pack_b);
+                for ici in 0..n_ic {
+                    if (jci * n_ic + ici) % nparts != part {
+                        continue;
+                    }
+                    let ic = ici * mc;
+                    let mb = mc.min(m - ic);
+                    pack_a_panels(ta, a, m, k, ic, mb, pc, kb, &mut self.pack_a);
+                    self.macro_kernel(ic, mb, jc, nb, kb, n, c);
+                }
+            }
+        }
+    }
+
+    /// Runs the register-blocked micro-kernel over one packed
+    /// `mb x nb x kb` macro-tile and accumulates into `C`.
+    ///
+    /// # Safety
+    ///
+    /// `c` must cover rows `[ic, ic+mb)` x cols `[jc, jc+nb)` of an
+    /// `? x n` matrix with no concurrent writer for that region.
+    #[allow(clippy::too_many_arguments)] // a macro-tile is six coordinates
+    unsafe fn macro_kernel(
+        &self,
+        ic: usize,
+        mb: usize,
+        jc: usize,
+        nb: usize,
+        kb: usize,
+        n: usize,
+        c: CPtr,
+    ) {
+        for j0 in (0..nb).step_by(NR) {
+            let nrb = NR.min(nb - j0);
+            let bp = &self.pack_b[(j0 / NR) * kb * NR..][..kb * NR];
+            for i0 in (0..mb).step_by(MR) {
+                let mrb = MR.min(mb - i0);
+                let ap = &self.pack_a[(i0 / MR) * kb * MR..][..kb * MR];
+                let mut acc = [0.0f32; MR * NR];
+                #[cfg(target_arch = "x86_64")]
+                if self.fma {
+                    // SAFETY: `fma` is set only when AVX2+FMA were
+                    // detected at engine construction.
+                    unsafe { kernel_mr_nr_fma(kb, ap, bp, &mut acc) };
+                } else {
+                    kernel_mr_nr(kb, ap, bp, &mut acc);
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                kernel_mr_nr(kb, ap, bp, &mut acc);
+                // Write back the valid region of the tile.
+                for r in 0..mrb {
+                    let row = ic + i0 + r;
+                    let start = row * n + jc + j0;
+                    debug_assert!(start + nrb <= c.len);
+                    // SAFETY: region ownership per the function contract.
+                    let crow =
+                        unsafe { std::slice::from_raw_parts_mut(c.ptr.add(start), nrb) };
+                    for (cv, av) in crow.iter_mut().zip(&acc[r * NR..r * NR + nrb]) {
+                        *cv += av;
                     }
                 }
             }
@@ -258,21 +464,168 @@ impl Gemm {
     }
 }
 
-/// Packs `op(src)` (logical `rows x cols`) into `dst` as contiguous
-/// row-major `rows x cols`.
-fn pack(t: Transpose, rows: usize, cols: usize, src: &[f32], dst: &mut Vec<f32>) {
-    dst.clear();
-    dst.reserve(rows * cols);
-    match t {
-        Transpose::No => dst.extend_from_slice(&src[..rows * cols]),
-        Transpose::Yes => {
-            for r in 0..rows {
-                for c in 0..cols {
-                    dst.push(src[c * rows + r]);
-                }
+/// `true` when AVX2 and FMA are available at runtime (x86-64 only).
+fn detect_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn is_narrow(ta: Transpose, _tb: Transpose, n: usize) -> bool {
+    // The narrow path reads A row-wise, so it requires untransposed A.
+    ta == Transpose::No && n <= NARROW
+}
+
+/// Packs `op(A)`'s `mb x kb` block (rows `ic..`, k `pc..`) into
+/// zero-padded `MR`-row micro-panels: element `(panel, p, r)` lands at
+/// `panel * kb * MR + p * MR + r`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a_panels(
+    ta: Transpose,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    ic: usize,
+    mb: usize,
+    pc: usize,
+    kb: usize,
+    dst: &mut [f32],
+) {
+    let panels = mb.div_ceil(MR);
+    for pi in 0..panels {
+        let rows = MR.min(mb - pi * MR);
+        let base = pi * kb * MR;
+        for p in 0..kb {
+            let off = base + p * MR;
+            let pp = pc + p;
+            for r in 0..MR {
+                dst[off + r] = if r < rows {
+                    let i = ic + pi * MR + r;
+                    match ta {
+                        Transpose::No => a[i * k + pp],
+                        Transpose::Yes => a[pp * m + i],
+                    }
+                } else {
+                    0.0
+                };
             }
         }
     }
+}
+
+/// Packs `op(B)`'s `kb x nb` block (k `pc..`, cols `jc..`) into
+/// zero-padded `NR`-column micro-panels: element `(panel, p, c)` lands at
+/// `panel * kb * NR + p * NR + c`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_panels(
+    tb: Transpose,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    pc: usize,
+    kb: usize,
+    jc: usize,
+    nb: usize,
+    dst: &mut [f32],
+) {
+    let panels = nb.div_ceil(NR);
+    for pj in 0..panels {
+        let cols = NR.min(nb - pj * NR);
+        let j0 = jc + pj * NR;
+        let base = pj * kb * NR;
+        for p in 0..kb {
+            let off = base + p * NR;
+            let pp = pc + p;
+            match tb {
+                Transpose::No => {
+                    dst[off..off + cols].copy_from_slice(&b[pp * n + j0..pp * n + j0 + cols]);
+                }
+                Transpose::Yes => {
+                    for c in 0..cols {
+                        dst[off + c] = b[(j0 + c) * k + pp];
+                    }
+                }
+            }
+            for c in cols..NR {
+                dst[off + c] = 0.0;
+            }
+        }
+    }
+}
+
+/// Portable `MR x NR` micro-kernel: fixed-extent loops over packed panels
+/// so LLVM vectorizes the `NR` lane loop; `MR` independent accumulator
+/// rows break the k dependence chain.
+#[inline(always)]
+fn kernel_mr_nr(kb: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MR * NR]) {
+    debug_assert!(ap.len() >= kb * MR && bp.len() >= kb * NR);
+    for p in 0..kb {
+        let a4 = &ap[p * MR..p * MR + MR];
+        let b16 = &bp[p * NR..p * NR + NR];
+        for r in 0..MR {
+            let av = a4[r];
+            let row = &mut acc[r * NR..(r + 1) * NR];
+            for (cv, bv) in row.iter_mut().zip(b16) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA copy of the micro-kernel: 8 YMM accumulators (4 rows x 16
+/// lanes), two B loads and four A broadcasts per k step, all arithmetic
+/// via `vfmadd`.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 and FMA support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kernel_mr_nr_fma(kb: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MR * NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kb * MR && bp.len() >= kb * NR);
+    let mut c00 = _mm256_setzero_ps();
+    let mut c01 = _mm256_setzero_ps();
+    let mut c10 = _mm256_setzero_ps();
+    let mut c11 = _mm256_setzero_ps();
+    let mut c20 = _mm256_setzero_ps();
+    let mut c21 = _mm256_setzero_ps();
+    let mut c30 = _mm256_setzero_ps();
+    let mut c31 = _mm256_setzero_ps();
+    let mut pa = ap.as_ptr();
+    let mut pb = bp.as_ptr();
+    for _ in 0..kb {
+        let b0 = _mm256_loadu_ps(pb);
+        let b1 = _mm256_loadu_ps(pb.add(8));
+        let a0 = _mm256_set1_ps(*pa);
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_set1_ps(*pa.add(1));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_set1_ps(*pa.add(2));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_set1_ps(*pa.add(3));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+        pa = pa.add(MR);
+        pb = pb.add(NR);
+    }
+    let out = acc.as_mut_ptr();
+    _mm256_storeu_ps(out, c00);
+    _mm256_storeu_ps(out.add(8), c01);
+    _mm256_storeu_ps(out.add(16), c10);
+    _mm256_storeu_ps(out.add(24), c11);
+    _mm256_storeu_ps(out.add(32), c20);
+    _mm256_storeu_ps(out.add(40), c21);
+    _mm256_storeu_ps(out.add(48), c30);
+    _mm256_storeu_ps(out.add(56), c31);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -362,6 +715,16 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matches_naive_wide_output() {
+        // Wide enough (> NARROW) to exercise the tiled path with edge
+        // tiles in every dimension.
+        check_matches_naive(Transpose::No, Transpose::No, 13, 37, 9);
+        check_matches_naive(Transpose::Yes, Transpose::No, 13, 37, 9);
+        check_matches_naive(Transpose::No, Transpose::Yes, 13, 37, 9);
+        check_matches_naive(Transpose::Yes, Transpose::Yes, 13, 37, 9);
+    }
+
+    #[test]
     fn accumulates_into_c() {
         let a = vec![1.0, 0.0, 0.0, 1.0];
         let b = vec![2.0, 0.0, 0.0, 2.0];
@@ -389,5 +752,52 @@ mod tests {
         let b = vec![0.0; 4];
         let mut c = vec![0.0; 4];
         Gemm::new().compute(Transpose::No, Transpose::No, 2, 2, 2, &a, &b, &mut c);
+    }
+
+    /// Sequential [`GemmPool`]: runs every part one after another on the
+    /// caller thread. Partition correctness does not depend on real
+    /// concurrency, so this validates tile ownership cheaply.
+    struct SeqPool {
+        parts: usize,
+        engines: std::cell::RefCell<Vec<Gemm>>,
+    }
+
+    impl SeqPool {
+        fn new(parts: usize) -> Self {
+            SeqPool {
+                parts,
+                engines: std::cell::RefCell::new((0..parts).map(|_| Gemm::new()).collect()),
+            }
+        }
+    }
+
+    impl GemmPool for SeqPool {
+        fn threads(&self) -> usize {
+            self.parts
+        }
+        fn run_gemm(&self, job: &(dyn Fn(usize, &mut Gemm) + Sync)) {
+            let mut engines = self.engines.borrow_mut();
+            for (tid, eng) in engines.iter_mut().enumerate() {
+                job(tid, eng);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bit_identical_to_serial_across_part_counts() {
+        let (m, n, k) = (67, 129, 53);
+        let a = dense(m, k, 7);
+        let b = dense(k, n, 8);
+        let mut c_serial = dense(m, n, 9);
+        let mut serial = Gemm::new();
+        serial.compute(Transpose::No, Transpose::No, m, n, k, &a, &b, &mut c_serial);
+        for parts in [1usize, 2, 3, 4, 8] {
+            let mut c_par = dense(m, n, 9);
+            let pool = SeqPool::new(parts);
+            Gemm::compute_parallel(&pool, Transpose::No, Transpose::No, m, n, k, &a, &b, &mut c_par);
+            for (i, (x, y)) in c_serial.iter().zip(&c_par).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "parts={parts} elem {i}: {x} vs {y}");
+            }
+        }
     }
 }

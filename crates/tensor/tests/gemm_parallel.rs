@@ -1,0 +1,150 @@
+//! Property tests for [`Gemm::compute_parallel`]: correctness against the
+//! naive reference over odd shapes, transposes, and block sizes, and
+//! bit-identity of the macro-tile partitioning across worker counts.
+//!
+//! The pool here is a deterministic in-process fake that invokes the job
+//! for every worker id sequentially — partitioning correctness does not
+//! depend on actual concurrency (real-thread coverage lives with the
+//! runtime's `WorkerPool`, which implements the same trait).
+
+use std::cell::RefCell;
+
+use latte_tensor::gemm::{gemm_naive, Gemm, GemmPool, Transpose};
+use proptest::prelude::*;
+
+/// A sequential stand-in pool: `threads` worker slots, each with its own
+/// engine (sharing one blocking, as the trait contract requires).
+struct FakePool {
+    engines: RefCell<Vec<Gemm>>,
+}
+
+impl FakePool {
+    fn new(threads: usize) -> Self {
+        FakePool {
+            engines: RefCell::new((0..threads).map(|_| Gemm::new()).collect()),
+        }
+    }
+
+    fn with_blocking(threads: usize, kc: usize, nc: usize, mc: usize) -> Self {
+        FakePool {
+            engines: RefCell::new(
+                (0..threads).map(|_| Gemm::with_blocking(kc, nc, mc)).collect(),
+            ),
+        }
+    }
+}
+
+impl GemmPool for FakePool {
+    fn threads(&self) -> usize {
+        self.engines.borrow().len()
+    }
+
+    fn run_gemm(&self, job: &(dyn Fn(usize, &mut Gemm) + Sync)) {
+        let mut engines = self.engines.borrow_mut();
+        for (tid, eng) in engines.iter_mut().enumerate() {
+            job(tid, eng);
+        }
+    }
+}
+
+fn transpose() -> impl Strategy<Value = Transpose> {
+    prop_oneof![Just(Transpose::No), Just(Transpose::Yes)]
+}
+
+fn fill(len: usize, seed: u32, salt: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(seed)
+                .wrapping_add(salt);
+            (h % 19) as f32 - 9.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Small odd shapes with arbitrary transposes and blockings dispatch
+    /// through the serial path of `compute_parallel` and must match the
+    /// naive reference.
+    #[test]
+    fn parallel_entry_matches_naive_small(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        ta in transpose(),
+        tb in transpose(),
+        kc in 1usize..8,
+        nc in 1usize..8,
+        mc in 1usize..8,
+        threads in 1usize..5,
+        seed in 0u32..1000,
+    ) {
+        let a = fill(m * k, seed, 1);
+        let b = fill(k * n, seed, 2);
+        let mut c_ref = fill(m * n, seed, 3);
+        let mut c_par = c_ref.clone();
+        gemm_naive(ta, tb, m, n, k, &a, &b, &mut c_ref);
+        let pool = FakePool::with_blocking(threads, kc, nc, mc);
+        Gemm::compute_parallel(&pool, ta, tb, m, n, k, &a, &b, &mut c_par);
+        for (r, o) in c_ref.iter().zip(&c_par) {
+            prop_assert!((r - o).abs() <= 1e-2 * r.abs().max(1.0), "{} vs {}", r, o);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Shapes above the parallel-dispatch threshold, partitioned across
+    /// several workers, still match the naive reference under transposes.
+    #[test]
+    fn parallel_partitioning_matches_naive(
+        m in 64usize..90,
+        n in 64usize..90,
+        k in 64usize..90,
+        ta in transpose(),
+        tb in transpose(),
+        threads in 2usize..6,
+        seed in 0u32..1000,
+    ) {
+        let a = fill(m * k, seed, 1);
+        let b = fill(k * n, seed, 2);
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_par = c_ref.clone();
+        gemm_naive(ta, tb, m, n, k, &a, &b, &mut c_ref);
+        let pool = FakePool::new(threads);
+        Gemm::compute_parallel(&pool, ta, tb, m, n, k, &a, &b, &mut c_par);
+        for (r, o) in c_ref.iter().zip(&c_par) {
+            prop_assert!((r - o).abs() <= 2e-2 * r.abs().max(1.0), "{} vs {}", r, o);
+        }
+    }
+
+    /// The partitioned result is BIT-identical for every worker count —
+    /// the property the executor's thread-count determinism rests on.
+    #[test]
+    fn parallel_bit_identical_across_worker_counts(
+        m in 64usize..90,
+        n in 64usize..90,
+        k in 64usize..90,
+        tb in transpose(),
+        threads in 2usize..9,
+        seed in 0u32..1000,
+    ) {
+        let a = fill(m * k, seed, 1);
+        let b = fill(k * n, seed, 2);
+        let mut c_one = vec![0.0f32; m * n];
+        let mut c_many = c_one.clone();
+        Gemm::compute_parallel(
+            &FakePool::new(1), Transpose::No, tb, m, n, k, &a, &b, &mut c_one,
+        );
+        Gemm::compute_parallel(
+            &FakePool::new(threads), Transpose::No, tb, m, n, k, &a, &b, &mut c_many,
+        );
+        for (i, (x, y)) in c_one.iter().zip(&c_many).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "elem {} with {} workers", i, threads);
+        }
+    }
+}

@@ -24,6 +24,13 @@ git diff --exit-code -- tests/golden/ || {
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo test --workspace -q with LATTE_THREADS=4 (persistent worker pool)"
+LATTE_THREADS=4 cargo test --workspace -q
+
+echo "==> throughput bench smoke + artifact schema validation"
+cargo run --release --quiet -p latte-bench --bin throughput -- --smoke --out target/BENCH_smoke.json
+cargo run --release --quiet -p latte-bench --bin throughput -- --validate target/BENCH_smoke.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
