@@ -76,6 +76,13 @@ pub enum RuntimeError {
         /// What went wrong inside the worker.
         source: Box<RuntimeError>,
     },
+    /// A distributed-transport operation failed terminally: handshake
+    /// rejected, every peer evicted, the comm thread lost, or a wire
+    /// error that retries and ring healing could not absorb.
+    Transport {
+        /// What failed and why.
+        detail: String,
+    },
     /// The buffer exists in the program but its contents are not
     /// materialized under the liveness arena: either its storage slot was
     /// reclaimed by a later-live buffer (expired) or it is never touched
@@ -144,6 +151,7 @@ impl PartialEq for RuntimeError {
                 Worker { worker: a, source: sa },
                 Worker { worker: b, source: sb },
             ) => a == b && sa == sb,
+            (Transport { detail: a }, Transport { detail: b }) => a == b,
             (
                 BufferRetired { name: a, detail: da },
                 BufferRetired { name: b, detail: db },
@@ -184,6 +192,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Worker { worker, source } => {
                 write!(f, "worker {worker} failed: {source}")
+            }
+            RuntimeError::Transport { detail } => {
+                write!(f, "transport failure: {detail}")
             }
             RuntimeError::BufferRetired { name, detail } => {
                 write!(f, "buffer `{name}` is not materialized: {detail}")

@@ -83,6 +83,20 @@ impl Default for ExecConfig {
     }
 }
 
+/// One communicator bucket: the parameters whose gradients are final
+/// once backward group [`GradBucket::group`] has run (see
+/// [`Executor::grad_buckets`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradBucket {
+    /// Backward-group index, as passed to the
+    /// [`Executor::backward_hooked`] callback.
+    pub group: usize,
+    /// The lowered group's name (diagnostics and bucket labelling).
+    pub name: String,
+    /// Indices into [`Executor::params`], ascending.
+    pub params: Vec<usize>,
+}
+
 /// A raw view of one buffer for the current batch item.
 #[derive(Clone, Copy)]
 struct RawBuf {
@@ -171,6 +185,11 @@ unsafe fn build_frame(
         .collect();
     Frame { bufs }
 }
+
+/// A per-group callback invoked after each compute group of a phase
+/// (group index, executor) — how [`Executor::backward_hooked`] streams
+/// finished gradient buckets to the distributed comm thread.
+pub type GroupHook<'a> = &'a mut dyn FnMut(usize, &Executor);
 
 /// The executor: a compiled network, its buffers, and the lowered plan.
 ///
@@ -343,6 +362,7 @@ impl Executor {
         backward: bool,
         mut timing: Option<&mut Vec<(String, f64)>>,
         sentinel: Option<usize>,
+        mut after_group: Option<GroupHook<'_>>,
     ) -> Result<(), BufferAnomaly> {
         if backward {
             self.store.zero_grads();
@@ -362,6 +382,12 @@ impl Executor {
             self.run_group(g, plan.n_slots());
             if let (Some(out), Some(t0)) = (timing.as_deref_mut(), t0) {
                 out.push((g.name.clone(), t0.elapsed().as_secs_f64() * 1e3));
+            }
+            if let Some(hook) = after_group.as_deref_mut() {
+                // The group's gradient-lane fold ran inside `run_group`,
+                // so every parameter gradient this group produces is
+                // final here even while later groups are still pending.
+                hook(gi, self);
             }
             if let Some(stride) = sentinel {
                 let mut seen = std::collections::HashSet::new();
@@ -393,13 +419,24 @@ impl Executor {
 
     /// Runs forward propagation for the current batch.
     pub fn forward(&mut self) {
-        let _ = self.run_phase(false, None, None);
+        let _ = self.run_phase(false, None, None, None);
     }
 
     /// Runs backward propagation (zeroing activation and parameter
     /// gradients first).
     pub fn backward(&mut self) {
-        let _ = self.run_phase(true, None, None);
+        let _ = self.run_phase(true, None, None, None);
+    }
+
+    /// Runs backward propagation like [`Executor::backward`], invoking
+    /// `hook(group_index, &self)` after each backward group completes.
+    /// Because the gradient-lane fold happens inside the group, the
+    /// parameter gradients owned by that group (see
+    /// [`Executor::grad_buckets`]) are final when the hook fires — this
+    /// is the seam that lets a communicator overlap ring all-reduce with
+    /// the remaining backward passes.
+    pub fn backward_hooked(&mut self, hook: GroupHook<'_>) {
+        let _ = self.run_phase(true, None, None, Some(hook));
     }
 
     /// Runs forward propagation, returning per-group wall-clock
@@ -407,7 +444,7 @@ impl Executor {
     /// breakdown and the cluster simulator.
     pub fn forward_timed(&mut self) -> Vec<(String, f64)> {
         let mut out = Vec::new();
-        let _ = self.run_phase(false, Some(&mut out), None);
+        let _ = self.run_phase(false, Some(&mut out), None, None);
         out
     }
 
@@ -415,8 +452,47 @@ impl Executor {
     /// milliseconds.
     pub fn backward_timed(&mut self) -> Vec<(String, f64)> {
         let mut out = Vec::new();
-        let _ = self.run_phase(true, Some(&mut out), None);
+        let _ = self.run_phase(true, Some(&mut out), None, None);
         out
+    }
+
+    /// Groups the learnable parameters into communicator buckets, one
+    /// per backward group: each parameter is assigned to the **last**
+    /// backward group whose bindings write its gradient storage (last,
+    /// so weight-shared parameters — e.g. an unrolled recurrent cell —
+    /// are shipped only once their final accumulation has run). Buckets
+    /// come back ordered by group index, i.e. in the order
+    /// [`Executor::backward_hooked`] fires; parameters whose gradient no
+    /// group writes (their gradient stays zero) ride in the last bucket.
+    pub fn grad_buckets(&self) -> Vec<GradBucket> {
+        let groups = self.plan.groups(true);
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let mut by_group: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (pi, p) in self.net.params.iter().enumerate() {
+            let gs = self
+                .store
+                .info(&p.grad)
+                .expect("param grad buffer exists")
+                .storage;
+            let mut last = groups.len() - 1;
+            for (gi, g) in groups.iter().enumerate() {
+                if g.bufs.iter().any(|b| b.param_grad && b.storage == gs) {
+                    last = gi;
+                }
+            }
+            by_group.entry(last).or_default().push(pi);
+        }
+        by_group
+            .into_iter()
+            .map(|(gi, params)| GradBucket {
+                group: gi,
+                name: groups[gi].name.clone(),
+                params,
+            })
+            .collect()
     }
 
     /// The mean loss across batch items and loss ensembles after a
@@ -514,7 +590,7 @@ impl Executor {
     /// have not run, so buffer contents are mixed-iteration and the
     /// caller should treat the pass (and its loss) as poisoned.
     pub fn forward_guarded(&mut self, mode: SentinelMode) -> Result<(), BufferAnomaly> {
-        self.run_phase(false, None, mode.stride())
+        self.run_phase(false, None, mode.stride(), None)
     }
 
     fn run_group(&mut self, g: &CGroup, n_slots: usize) {

@@ -10,8 +10,14 @@
 //! scenario is reproducible bit-for-bit: same seed, same faults, same
 //! recovery trace.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::transport::{corrupt_payload, Frame, FrameKind, TransportError, Wire};
 
 /// One scheduled failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -317,6 +323,131 @@ impl FaultPlan {
             }
         }
         false
+    }
+}
+
+/// A [`Wire`] wrapper that injects this module's deterministic fault
+/// plans into the *real* transport, so the same scenarios the cluster
+/// simulator replays symbolically also exercise the live ring:
+///
+/// * [`Fault::TransferDrop`] / [`Fault::TransferCorrupt`] apply to the
+///   bucket's **first** data frame (reduce-scatter ring-step 0), keyed
+///   by `(sender = node, step = iter, bucket = layer)`. The n-th plan
+///   entry hits the n-th send attempt of that frame, so repeated
+///   entries eat into the receiver's retry budget exactly as the
+///   simulator documents — enough of them and the receiver evicts us.
+/// * [`Fault::Straggler`] delays every data send by
+///   `straggle_unit × (factor − 1)` during its window, which the
+///   receiving side's EWMA straggler detector picks up.
+/// * [`Fault::NodeCrash`] turns the wire into a silent black hole from
+///   its iteration onward — nothing is sent (not even resend services),
+///   so peers see timeouts and heal the ring around us.
+/// * [`Fault::ProcessDeath`] is *not* handled here: the worker binary
+///   maps it to a real `process::exit`, and `BatchNaN` / `GradCorrupt` /
+///   `LrSpike` / `GradPoison` stay at the training layer where the data
+///   and solver live.
+///
+/// The extra [`FaultyTransport::with_crash_after_sends`] knob (not part
+/// of [`FaultPlan`]) kills the wire after a fixed number of data frames
+/// — mid-reduce-scatter — to pin down the partial-chunk healing path.
+pub struct FaultyTransport<W: Wire> {
+    inner: W,
+    rank: usize,
+    plan: FaultPlan,
+    straggle_unit: Duration,
+    crash_after_sends: Option<u64>,
+    state: Mutex<FaultyWireState>,
+}
+
+#[derive(Default)]
+struct FaultyWireState {
+    crashed: bool,
+    data_sends: u64,
+    /// Send attempts of each bucket's fault-targeted frame, keyed by
+    /// `(step, bucket)`.
+    attempts: HashMap<(u32, u16), usize>,
+}
+
+impl<W: Wire> FaultyTransport<W> {
+    /// Wraps `inner`, injecting `plan`'s faults for sender `rank`.
+    pub fn new(rank: usize, plan: FaultPlan, inner: W) -> FaultyTransport<W> {
+        FaultyTransport {
+            inner,
+            rank,
+            plan,
+            straggle_unit: Duration::from_millis(5),
+            crash_after_sends: None,
+            state: Mutex::new(FaultyWireState::default()),
+        }
+    }
+
+    /// Sets the per-unit straggler delay (default 5 ms per `factor − 1`).
+    pub fn with_straggle_unit(mut self, unit: Duration) -> Self {
+        self.straggle_unit = unit;
+        self
+    }
+
+    /// Crashes the wire silently after `n` data frames have been sent —
+    /// the mid-reduce-scatter death used by the partial-chunk tests.
+    pub fn with_crash_after_sends(mut self, n: u64) -> Self {
+        self.crash_after_sends = Some(n);
+        self
+    }
+}
+
+impl<W: Wire> Wire for FaultyTransport<W> {
+    fn send(&self, to: usize, mut bytes: Vec<u8>) -> Result<(), TransportError> {
+        let peeked = Frame::peek(&bytes);
+        let mut st = self.state.lock().unwrap();
+        if st.crashed {
+            // A dead node neither sends nor errors: peers find out by
+            // timing out.
+            return Ok(());
+        }
+        if let Some(p) = peeked {
+            if p.kind == FrameKind::Data {
+                let step = p.key.step as usize;
+                if self.plan.crashed_by(self.rank, step) {
+                    st.crashed = true;
+                    return Ok(());
+                }
+                st.data_sends += 1;
+                if let Some(n) = self.crash_after_sends {
+                    if st.data_sends > n {
+                        st.crashed = true;
+                        return Ok(());
+                    }
+                }
+                if p.key.phase == 0 && p.key.ring_step == 0 {
+                    let site = (p.key.step, p.key.bucket);
+                    let attempt = *st.attempts.get(&site).unwrap_or(&0);
+                    st.attempts.insert(site, attempt + 1);
+                    let faults =
+                        self.plan
+                            .transfer_faults(self.rank, step, p.key.bucket as usize);
+                    if let Some(f) = faults.get(attempt) {
+                        match f {
+                            TransferFault::Dropped => return Ok(()),
+                            TransferFault::Corrupted => {
+                                corrupt_payload(&mut bytes);
+                            }
+                        }
+                    }
+                }
+                let factor = self.plan.straggle_factor(self.rank, step);
+                if factor > 1.0 {
+                    drop(st);
+                    std::thread::sleep(self.straggle_unit.mul_f64(factor - 1.0));
+                    return self.inner.send(to, bytes);
+                }
+            }
+        }
+        drop(st);
+        self.inner.send(to, bytes)
+    }
+
+    fn close(&self) {
+        self.inner.close();
     }
 }
 

@@ -23,8 +23,20 @@
 //!   ring all-reduce (Figures 18–19), including the fault-aware
 //!   multi-iteration mode with retries, straggler detection, and
 //!   degraded (lossy) all-reduce.
+//! * [`transport`] — the real communicator layer: framed, CRC-checked,
+//!   deadline-bounded gradient exchange behind the `Transport` trait,
+//!   with an in-process channel backend (deterministic tests) and a TCP
+//!   backend (true multi-process rings).
+//! * [`ring`] — ring all-reduce over a `Transport`: overlapped
+//!   reduce-scatter/all-gather with retries, exponential backoff, EWMA
+//!   straggler detection, and ring healing into the lossy mode.
+//! * [`dist`] — the distributed trainer: layer-by-layer gradient
+//!   streaming into a background comm thread, bit-identical to the
+//!   serial oracle in synchronized mode.
 //! * [`fault`] — deterministic, seedable fault injection (crashes,
-//!   stragglers, transfer drops/corruption, I/O errors, process death).
+//!   stragglers, transfer drops/corruption, I/O errors, process death),
+//!   including `FaultyTransport` to replay fault plans against the real
+//!   transport.
 //! * [`supervisor`] — the fault-tolerant training loop: periodic atomic
 //!   checkpoints, crash detection, and resume-from-checkpoint with a
 //!   loss-continuity check.
@@ -43,6 +55,7 @@ pub mod accel;
 pub mod checkpoint;
 pub mod cluster;
 pub mod data;
+pub mod dist;
 pub mod error;
 pub mod fault;
 pub mod health;
@@ -53,10 +66,12 @@ pub mod parallel;
 mod plan;
 pub mod pool;
 pub mod registry;
+pub mod ring;
 pub mod solver;
 pub mod store;
 pub mod supervisor;
+pub mod transport;
 
 pub use error::RuntimeError;
-pub use exec::{ExecConfig, Executor};
+pub use exec::{ExecConfig, Executor, GradBucket};
 pub use plan::ExecutionPlan;

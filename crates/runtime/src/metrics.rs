@@ -53,6 +53,20 @@ pub struct FaultMetrics {
     /// Per-node gradient contributions rejected by the all-reduce merge
     /// for being non-finite.
     pub gradients_rejected: AtomicU64,
+    /// Transport frames re-sent (resend requests serviced after a drop,
+    /// timeout, or CRC failure on the receiving side).
+    pub send_retries: AtomicU64,
+    /// Transport receives that exhausted their per-op deadline.
+    pub timeouts: AtomicU64,
+    /// Socket reconnect attempts after a broken connection.
+    pub reconnects: AtomicU64,
+    /// Peers evicted from the ring (retry budget exhausted, connection
+    /// reset, or announced dead by another survivor).
+    pub peers_evicted: AtomicU64,
+    /// Training steps whose all-reduce ran in the lossy degraded mode.
+    pub lossy_steps: AtomicU64,
+    /// Gradient payload bytes folded by the ring reduce-scatter.
+    pub bytes_reduced: AtomicU64,
 }
 
 /// A point-in-time copy of [`FaultMetrics`], comparable in tests.
@@ -76,6 +90,12 @@ pub struct FaultMetricsSnapshot {
     pub rollbacks: u64,
     pub lr_reductions: u64,
     pub gradients_rejected: u64,
+    pub send_retries: u64,
+    pub timeouts: u64,
+    pub reconnects: u64,
+    pub peers_evicted: u64,
+    pub lossy_steps: u64,
+    pub bytes_reduced: u64,
 }
 
 impl FaultMetrics {
@@ -87,6 +107,11 @@ impl FaultMetrics {
     /// Adds one to a counter (relaxed; counters are independent).
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter (for byte/amount counters).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Copies every counter.
@@ -109,6 +134,12 @@ impl FaultMetrics {
             rollbacks: self.rollbacks.load(Ordering::Relaxed),
             lr_reductions: self.lr_reductions.load(Ordering::Relaxed),
             gradients_rejected: self.gradients_rejected.load(Ordering::Relaxed),
+            send_retries: self.send_retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            peers_evicted: self.peers_evicted.load(Ordering::Relaxed),
+            lossy_steps: self.lossy_steps.load(Ordering::Relaxed),
+            bytes_reduced: self.bytes_reduced.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,7 +151,9 @@ impl fmt::Display for FaultMetricsSnapshot {
             "retries={} dropped={} corrupted={} nodes_failed={} stragglers={} \
              degraded_iters={} checkpoints={} restores={} io_errors={} \
              sentinel_trips={} grad_clips={} grad_nonfinite={} loss_anomalies={} \
-             quarantined={} rollbacks={} lr_reductions={} grads_rejected={}",
+             quarantined={} rollbacks={} lr_reductions={} grads_rejected={} \
+             send_retries={} timeouts={} reconnects={} peers_evicted={} \
+             lossy_steps={} bytes_reduced={}",
             self.retries,
             self.transfers_dropped,
             self.transfers_corrupted,
@@ -138,6 +171,12 @@ impl fmt::Display for FaultMetricsSnapshot {
             self.rollbacks,
             self.lr_reductions,
             self.gradients_rejected,
+            self.send_retries,
+            self.timeouts,
+            self.reconnects,
+            self.peers_evicted,
+            self.lossy_steps,
+            self.bytes_reduced,
         )
     }
 }
@@ -213,6 +252,9 @@ mod tests {
         FaultMetrics::bump(&m.nodes_failed);
         FaultMetrics::bump(&m.sentinel_trips);
         FaultMetrics::bump(&m.batches_quarantined);
+        FaultMetrics::bump(&m.send_retries);
+        FaultMetrics::bump(&m.peers_evicted);
+        FaultMetrics::add(&m.bytes_reduced, 4096);
         let snap = m.snapshot();
         assert_eq!(snap.retries, 2);
         assert_eq!(snap.nodes_failed, 1);
@@ -220,9 +262,14 @@ mod tests {
         assert_eq!(snap.sentinel_trips, 1);
         assert_eq!(snap.batches_quarantined, 1);
         assert_eq!(snap.gradients_rejected, 0);
+        assert_eq!(snap.send_retries, 1);
+        assert_eq!(snap.timeouts, 0);
+        assert_eq!(snap.peers_evicted, 1);
+        assert_eq!(snap.bytes_reduced, 4096);
         let text = snap.to_string();
         assert!(text.contains("retries=2") && text.contains("nodes_failed=1"));
         assert!(text.contains("sentinel_trips=1") && text.contains("quarantined=1"));
+        assert!(text.contains("peers_evicted=1") && text.contains("bytes_reduced=4096"));
     }
 
     #[test]

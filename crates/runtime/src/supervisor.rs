@@ -123,6 +123,11 @@ pub struct SupervisorReport {
     pub lr_reductions: u32,
     /// Batch positions quarantined for the remainder of the run.
     pub quarantined: u64,
+    /// End-of-run copy of every fault counter, including the transport
+    /// counters (`send_retries`, `timeouts`, `reconnects`,
+    /// `peers_evicted`, `lossy_steps`, `bytes_reduced`) when the run
+    /// trained over a real [`crate::transport::Transport`].
+    pub metrics: crate::metrics::FaultMetricsSnapshot,
 }
 
 /// Mutable training position threaded through attempts.
@@ -236,6 +241,7 @@ pub fn supervise(
         rollbacks: health.as_ref().map_or(0, |h| h.rollbacks),
         lr_reductions: health.as_ref().map_or(0, |h| h.lr_cuts),
         quarantined: health.as_ref().map_or(0, |h| h.monitor.quarantined_count()),
+        metrics: metrics.snapshot(),
     })
 }
 

@@ -27,9 +27,16 @@ cargo test --workspace -q
 echo "==> cargo test --workspace -q with LATTE_THREADS=4 (persistent worker pool)"
 LATTE_THREADS=4 cargo test --workspace -q
 
+echo "==> distributed training over loopback TCP (4 real processes)"
+cargo test --release --test distributed -q
+
 echo "==> throughput bench smoke + artifact schema validation"
 cargo run --release --quiet -p latte-bench --bin throughput -- --smoke --out target/BENCH_smoke.json
 cargo run --release --quiet -p latte-bench --bin throughput -- --validate target/BENCH_smoke.json
+
+echo "==> cluster bench smoke + artifact schema validation"
+cargo run --release --quiet -p latte-bench --bin cluster -- --smoke --out target/BENCH_cluster_smoke.json
+cargo run --release --quiet -p latte-bench --bin cluster -- --validate target/BENCH_cluster_smoke.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
