@@ -1,0 +1,337 @@
+//! Serving harness: open-loop latency/throughput of the latte-serve
+//! dynamic-batching server, written as machine-readable
+//! `BENCH_serving.json`.
+//!
+//! Each scenario replays a seeded arrival schedule
+//! ([`latte_serve::loadgen`]) against a fresh server — steady Poisson
+//! traffic and bursty traffic — and records p50/p99 latency, sustained
+//! QPS, micro-batch statistics, and the plan-cache counters. The server
+//! is warmed over every micro-batch size first, so the headline
+//! `recompiles_after_warmup` figure is the serving guarantee: tail
+//! batches hit the `(fingerprint, batch)` plan cache instead of the
+//! compiler.
+//!
+//! Flags: `--smoke` (short schedules, CI-fast), `--out <path>` (default
+//! `BENCH_serving.json`), `--validate <path>` (parse an existing
+//! artifact, check its schema, and exit — the CI bench-smoke step).
+
+use std::time::{Duration, Instant};
+
+use latte_bench::json::{parse, Json};
+use latte_core::dsl::Net;
+use latte_core::OptLevel;
+use latte_nn::layers::{data, fully_connected, relu, softmax_loss, tanh};
+use latte_serve::{loadgen, Arrival, Model, Request, ServeConfig, Server, ServeError};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    validate: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_serving.json".to_string(),
+        validate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--validate" => args.validate = Some(it.next().expect("--validate needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; flags: --smoke --out <path> --validate <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The served model: a small MLP classifier, batch-parametric with
+/// fixed layer seeds (batch-invariant by construction).
+fn classifier(batch: usize) -> Net {
+    let mut net = Net::new(batch);
+    let x = data(&mut net, "data", vec![16]);
+    let fc1 = fully_connected(&mut net, "fc1", x, 32, 21);
+    let a1 = tanh(&mut net, "a1", fc1);
+    let fc2 = fully_connected(&mut net, "fc2", a1, 24, 22);
+    let a2 = relu(&mut net, "a2", fc2);
+    let head = fully_connected(&mut net, "head", a2, 10, 23);
+    let label = data(&mut net, "label", vec![1]);
+    softmax_loss(&mut net, "loss", head, label);
+    net
+}
+
+fn model() -> Model {
+    Model::new(
+        "bench-classifier",
+        Box::new(classifier),
+        OptLevel::full(),
+        vec!["head.value".to_string()],
+    )
+    .expect("model registration")
+}
+
+/// A deterministic request (inputs derived from `seed`).
+fn request(seed: u64) -> Request {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    };
+    let data: Vec<f32> = (0..16).map(|_| next()).collect();
+    let label = vec![(seed % 10) as f32];
+    Request {
+        inputs: vec![("data".to_string(), data), ("label".to_string(), label)],
+    }
+}
+
+fn percentile_ms(sorted: &[Duration], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Pre-warms every micro-batch size so steady-state traffic never
+/// compiles. Returns the cache miss count after warmup.
+fn warmup(server: &Server, max_batch: usize) -> u64 {
+    for size in 1..=max_batch {
+        let tickets: Vec<_> = (0..size)
+            .map(|i| server.submit(request(warm_seed(size, i))).expect("warmup submit"))
+            .collect();
+        server.flush();
+        for t in tickets {
+            t.wait_timeout(Duration::from_secs(60)).expect("warmup response");
+        }
+    }
+    server.cache().misses()
+}
+
+/// A warmup seed disjoint from scenario request seeds.
+fn warm_seed(size: usize, i: usize) -> u64 {
+    (size as u64) << 32 | i as u64
+}
+
+/// Replays one arrival schedule open-loop and summarizes the run.
+fn scenario(name: &str, arrival: &Arrival, n: usize, seed: u64, cfg: ServeConfig) -> Json {
+    let server = Server::start(model(), cfg);
+    let warm_misses = warmup(&server, cfg.max_batch);
+
+    let offsets = loadgen::schedule(arrival, n, seed);
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(n);
+    let mut rejected = 0u64;
+    for (i, &off) in offsets.iter().enumerate() {
+        let now = start.elapsed();
+        if off > now {
+            std::thread::sleep(off - now);
+        }
+        match server.submit(request(seed.wrapping_add(i as u64))) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("{name}: submit failed: {e}"),
+        }
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(tickets.len());
+    for t in tickets {
+        let resp = t.wait_timeout(Duration::from_secs(120)).expect("response");
+        latencies.push(resp.meta.latency);
+    }
+    let makespan = start.elapsed().as_secs_f64();
+    latencies.sort();
+
+    let stats = server.stats();
+    let cache = server.cache();
+    let recompiles_after_warmup = cache.misses() - warm_misses;
+    // Warmup batches are excluded from the scenario's traffic counters.
+    let completed = latencies.len() as u64;
+    let qps = completed as f64 / makespan;
+    let p50 = percentile_ms(&latencies, 50.0);
+    let p99 = percentile_ms(&latencies, 99.0);
+    let run_batches = stats.batches - cfg.max_batch as u64; // warmup ran one batch per size
+    let mean_batch = if run_batches > 0 {
+        completed as f64 / run_batches as f64
+    } else {
+        0.0
+    };
+
+    println!(
+        "{name}: {completed}/{n} ok, {rejected} rejected, p50 {p50:.3} ms, p99 {p99:.3} ms, \
+         {qps:.0} QPS, mean batch {mean_batch:.2}, recompiles after warmup {recompiles_after_warmup}"
+    );
+
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("requests", Json::Num(n as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("p50_ms", Json::Num(p50)),
+        ("p99_ms", Json::Num(p99)),
+        ("sustained_qps", Json::Num(qps)),
+        ("completed", Json::Num(completed as f64)),
+        ("rejected", Json::Num(rejected as f64)),
+        ("batches", Json::Num(run_batches as f64)),
+        ("mean_batch", Json::Num(mean_batch)),
+        (
+            "flush",
+            Json::obj([
+                ("size", Json::Num(stats.flush_size as f64)),
+                ("deadline", Json::Num(stats.flush_deadline as f64)),
+                ("drain", Json::Num(stats.flush_drain as f64)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::Num(cache.hits() as f64)),
+                ("misses", Json::Num(cache.misses() as f64)),
+                (
+                    "recompiles_after_warmup",
+                    Json::Num(recompiles_after_warmup as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Schema check for a written artifact. Returns a list of violations.
+fn validate_doc(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    if doc.get("schema").and_then(Json::as_str) != Some("latte-serving/v1") {
+        errs.push("missing or wrong `schema` (want \"latte-serving/v1\")".into());
+    }
+    for key in ["max_batch", "max_delay_ms", "replicas", "threads", "queue_cap"] {
+        if doc.get("config").and_then(|c| c.get(key)).and_then(Json::as_num).is_none() {
+            errs.push(format!("config.{key} missing or not a number"));
+        }
+    }
+    match doc.get("scenarios").and_then(Json::as_arr) {
+        None => errs.push("`scenarios` must be an array".into()),
+        Some(entries) => {
+            for want in ["steady", "bursty"] {
+                if !entries
+                    .iter()
+                    .any(|e| e.get("name").and_then(Json::as_str) == Some(want))
+                {
+                    errs.push(format!("scenario `{want}` missing"));
+                }
+            }
+            for (i, e) in entries.iter().enumerate() {
+                if e.get("name").and_then(Json::as_str).is_none() {
+                    errs.push(format!("scenarios[{i}].name missing"));
+                }
+                for key in [
+                    "requests",
+                    "p50_ms",
+                    "p99_ms",
+                    "sustained_qps",
+                    "completed",
+                    "rejected",
+                    "batches",
+                    "mean_batch",
+                ] {
+                    if e.get(key).and_then(Json::as_num).is_none() {
+                        errs.push(format!("scenarios[{i}].{key} missing or not a number"));
+                    }
+                }
+                for key in ["size", "deadline", "drain"] {
+                    if e.get("flush").and_then(|f| f.get(key)).and_then(Json::as_num).is_none() {
+                        errs.push(format!("scenarios[{i}].flush.{key} missing or not a number"));
+                    }
+                }
+                for key in ["hits", "misses", "recompiles_after_warmup"] {
+                    if e.get("cache").and_then(|c| c.get(key)).and_then(Json::as_num).is_none() {
+                        errs.push(format!("scenarios[{i}].cache.{key} missing or not a number"));
+                    }
+                }
+            }
+        }
+    }
+    errs
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.validate {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+        let errs = validate_doc(&doc);
+        if errs.is_empty() {
+            println!("{path}: schema OK");
+            return;
+        }
+        for e in &errs {
+            eprintln!("{path}: {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(2),
+        queue_cap: 256,
+        replicas: 2,
+        threads: 1,
+        retry_limit: 1,
+    };
+    let n = if args.smoke { 64 } else { 2000 };
+    println!(
+        "serving harness ({} mode): {n} requests/scenario, max_batch={}, max_delay={:?}, \
+         replicas={}",
+        if args.smoke { "smoke" } else { "full" },
+        cfg.max_batch,
+        cfg.max_delay,
+        cfg.replicas
+    );
+
+    let scenarios = vec![
+        scenario("steady", &Arrival::Steady { rps: 1500.0 }, n, 11, cfg),
+        scenario(
+            "bursty",
+            &Arrival::Bursty {
+                burst: 16,
+                within: Duration::from_millis(1),
+                gap: Duration::from_millis(8),
+            },
+            n,
+            13,
+            cfg,
+        ),
+        scenario(
+            "slow_client",
+            &Arrival::SlowClient {
+                rps: 1500.0,
+                stall_every: 50,
+                stall: Duration::from_millis(40),
+            },
+            n,
+            17,
+            cfg,
+        ),
+    ];
+
+    let doc = Json::obj([
+        ("schema", Json::Str("latte-serving/v1".into())),
+        ("smoke", Json::Bool(args.smoke)),
+        (
+            "config",
+            Json::obj([
+                ("max_batch", Json::Num(cfg.max_batch as f64)),
+                ("max_delay_ms", Json::Num(cfg.max_delay.as_secs_f64() * 1e3)),
+                ("replicas", Json::Num(cfg.replicas as f64)),
+                ("threads", Json::Num(cfg.threads as f64)),
+                ("queue_cap", Json::Num(cfg.queue_cap as f64)),
+            ]),
+        ),
+        ("scenarios", Json::Arr(scenarios)),
+    ]);
+    std::fs::write(&args.out, doc.render())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("wrote {}", args.out);
+}

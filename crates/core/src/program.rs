@@ -215,6 +215,55 @@ impl CompiledNet {
             .map(|b| (b.name.as_str(), b.kind))
     }
 
+    /// A stable identity hash of the compiled *model*: buffer plan
+    /// (names, per-item shapes, kinds, aliases), parameter and input
+    /// bindings, loss buffers, initial parameter values, the vectorize
+    /// flag, and the full pretty-printed program of both phases.
+    ///
+    /// The batch size is deliberately **excluded**: per-item structure is
+    /// batch-invariant, so two compiles of the same network at different
+    /// batch sizes fingerprint identically. Plan caches key on
+    /// `(fingerprint(), batch)` — the LazyTensor-style split that lets an
+    /// odd-sized tail batch reuse a cached `ExecutionPlan` instead of
+    /// recompiling (see `latte-serve`). `CompileStats` is excluded too:
+    /// it carries wall-clock pass timings, not program identity.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, 64-bit: dependency-free and stable across platforms.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        for b in &self.buffers {
+            eat(b.name.as_bytes());
+            eat(format!(";{:?};{:?};{:?}|", b.shape.dims(), b.kind, b.alias_of).as_bytes());
+        }
+        for p in &self.params {
+            eat(p.value.as_bytes());
+            eat(p.grad.as_bytes());
+            eat(&p.lr_mult.to_bits().to_le_bytes());
+        }
+        for i in &self.inputs {
+            eat(i.ensemble.as_bytes());
+            eat(i.buffer.as_bytes());
+        }
+        for l in &self.losses {
+            eat(l.as_bytes());
+        }
+        for (name, init) in &self.param_inits {
+            eat(name.as_bytes());
+            for v in init {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        eat(&[u8::from(self.vectorize)]);
+        eat(self.pretty().as_bytes());
+        h
+    }
+
     /// Pretty-prints the whole program (both phases), mainly for tests
     /// and debugging.
     pub fn pretty(&self) -> String {

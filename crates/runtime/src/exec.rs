@@ -32,6 +32,8 @@
 //! index in-bounds for all loop values, so the hot path uses
 //! `debug_assert`-checked accesses.
 
+use std::sync::Arc;
+
 use latte_core::{CompiledNet, ParamBinding};
 use latte_ir::{AssignOp, BinOp, UnaryOp};
 use latte_tensor::gemm::{Gemm, Transpose};
@@ -191,6 +193,88 @@ unsafe fn build_frame(
 /// finished gradient buckets to the distributed comm thread.
 pub type GroupHook<'a> = &'a mut dyn FnMut(usize, &Executor);
 
+/// A lowered, executor-independent program: the compiled net, its
+/// [`ExecutionPlan`], and the arena layout the plan was built against.
+///
+/// This is the unit a plan cache stores (keyed by
+/// `(CompiledNet::fingerprint(), batch)` in `latte-serve`): lowering —
+/// kernel selection, bounds verification, liveness planning — happens
+/// once in [`CompiledProgram::lower`], and every
+/// [`CompiledProgram::instantiate`] afterwards only allocates a fresh
+/// [`BufferStore`] and initializes parameters. Buffer storage indices
+/// are assigned deterministically from the declaration list, so a store
+/// built at instantiation time matches the one the plan was lowered
+/// against.
+pub struct CompiledProgram {
+    net: CompiledNet,
+    plan: Arc<ExecutionPlan>,
+    layout: Option<crate::plan::MemoryLayout>,
+    cfg: ExecConfig,
+}
+
+impl std::fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("batch", &self.net.batch)
+            .field("forward_groups", &self.plan.forward_groups())
+            .field("backward_groups", &self.plan.backward_groups())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledProgram {
+    /// Lowers a compiled network into a shareable execution plan without
+    /// allocating runtime buffers.
+    ///
+    /// # Errors
+    ///
+    /// See [`Executor::with_registry`] — the same lowering runs here.
+    pub fn lower(
+        net: CompiledNet,
+        registry: &KernelRegistry,
+        cfg: ExecConfig,
+    ) -> Result<Self, RuntimeError> {
+        let layout = cfg.arena.then(|| crate::plan::liveness_layout(&net));
+        // A scratch store resolves buffer names to storage indices for
+        // lowering; `instantiate` rebuilds an identical one per executor.
+        let store = BufferStore::with_layout(&net.buffers, net.batch, layout.as_ref())?;
+        let lowered = crate::lower::lower(&net, &store, registry, net.vectorize)?;
+        let plan = Arc::new(ExecutionPlan::new(lowered, layout.as_ref()));
+        Ok(CompiledProgram { net, plan, layout, cfg })
+    }
+
+    /// The batch size the program was compiled for.
+    pub fn batch(&self) -> usize {
+        self.net.batch
+    }
+
+    /// The compiled network this program was lowered from.
+    pub fn compiled(&self) -> &CompiledNet {
+        &self.net
+    }
+
+    /// Builds a warm executor on `pool`, sharing this program's plan:
+    /// allocates a fresh buffer store and writes initial parameter
+    /// values, but performs no compilation or lowering. The executor's
+    /// thread count is the pool's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates buffer-store allocation failures.
+    pub fn instantiate(&self, pool: Arc<WorkerPool>) -> Result<Executor, RuntimeError> {
+        let store = BufferStore::with_layout(&self.net.buffers, self.net.batch, self.layout.as_ref())?;
+        let mut exec = Executor {
+            net: self.net.clone(),
+            plan: Arc::clone(&self.plan),
+            store,
+            cfg: ExecConfig { threads: pool.threads(), ..self.cfg },
+            pool,
+        };
+        exec.reset_params()?;
+        Ok(exec)
+    }
+}
+
 /// The executor: a compiled network, its buffers, and the lowered plan.
 ///
 /// This is the runtime counterpart of the paper's `init(net)`: buffers
@@ -199,12 +283,15 @@ pub type GroupHook<'a> = &'a mut dyn FnMut(usize, &Executor);
 /// [`Executor::backward`] execute it for one batch.
 pub struct Executor {
     net: CompiledNet,
-    plan: ExecutionPlan,
+    /// Shared with the [`CompiledProgram`] this executor was instantiated
+    /// from (plan-cache replicas) or exclusive when built directly.
+    plan: Arc<ExecutionPlan>,
     store: BufferStore,
     cfg: ExecConfig,
     /// The persistent worker team (and its per-worker GEMM engines and
-    /// lane scratch), created once here and reused by every iteration.
-    pool: WorkerPool,
+    /// lane scratch), shared across the warm executors of one serving
+    /// replica; runs are exclusive — one executor drives it at a time.
+    pool: Arc<WorkerPool>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -240,19 +327,8 @@ impl Executor {
         registry: &KernelRegistry,
         cfg: ExecConfig,
     ) -> Result<Self, RuntimeError> {
-        let layout = cfg.arena.then(|| crate::plan::liveness_layout(&net));
-        let store = BufferStore::with_layout(&net.buffers, net.batch, layout.as_ref())?;
-        let lowered = crate::lower::lower(&net, &store, registry, net.vectorize)?;
-        let plan = ExecutionPlan::new(lowered, layout.as_ref());
-        let mut exec = Executor {
-            net,
-            plan,
-            store,
-            pool: WorkerPool::new(cfg.threads),
-            cfg,
-        };
-        exec.reset_params()?;
-        Ok(exec)
+        let program = CompiledProgram::lower(net, registry, cfg)?;
+        program.instantiate(Arc::new(WorkerPool::new(cfg.threads)))
     }
 
     /// The worker-thread count this executor runs with.
@@ -321,6 +397,33 @@ impl Executor {
         self.store.write(&buffer, data)
     }
 
+    /// Writes one batch item's slice of a data ensemble: `data` holds
+    /// `per_item` values for batch position `item`. This is the serving
+    /// path — coalesced single-sample requests land in their micro-batch
+    /// slots without staging a whole-batch buffer first.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown ensembles, wrong per-item lengths, or an item
+    /// index outside the batch.
+    pub fn set_input_item(
+        &mut self,
+        ensemble: &str,
+        item: usize,
+        data: &[f32],
+    ) -> Result<(), RuntimeError> {
+        let buffer = self
+            .net
+            .inputs
+            .iter()
+            .find(|i| i.ensemble == ensemble)
+            .map(|i| i.buffer.clone())
+            .ok_or_else(|| RuntimeError::UnknownBuffer {
+                name: format!("{ensemble} (data ensemble)"),
+            })?;
+        self.store.write_item(&buffer, item, data)
+    }
+
     /// Reads a buffer's full storage.
     ///
     /// # Errors
@@ -368,7 +471,10 @@ impl Executor {
             self.store.zero_grads();
             self.store.zero_param_grads();
         }
-        let plan = std::mem::replace(&mut self.plan, ExecutionPlan::empty());
+        // The plan is behind an `Arc` (shared with sibling executors of
+        // the same `CompiledProgram`), so cloning the handle detaches the
+        // group iteration from `&mut self`.
+        let plan = Arc::clone(&self.plan);
         let batch = self.net.batch;
         let mut trip = None;
         'groups: for (gi, g) in plan.groups(backward).iter().enumerate() {
@@ -410,7 +516,6 @@ impl Executor {
                 }
             }
         }
-        self.plan = plan;
         match trip {
             Some(a) => Err(a),
             None => Ok(()),
@@ -736,7 +841,7 @@ impl Executor {
         let tb = if b.tb { Transpose::Yes } else { Transpose::No };
         // Whole-batch GEMMs are the FLOP majority for FC layers: partition
         // macro-tiles across the pool (bit-identical for any worker count).
-        Gemm::compute_parallel(&self.pool, ta, tb, b.m, b.n, b.k, a, bb, c);
+        Gemm::compute_parallel(self.pool.as_ref(), ta, tb, b.m, b.n, b.k, a, bb, c);
     }
 
     fn run_extern_whole(&mut self, g: &CGroup, e: &CExtern) {

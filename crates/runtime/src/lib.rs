@@ -73,5 +73,5 @@ pub mod supervisor;
 pub mod transport;
 
 pub use error::RuntimeError;
-pub use exec::{ExecConfig, Executor, GradBucket};
+pub use exec::{CompiledProgram, ExecConfig, Executor, GradBucket};
 pub use plan::ExecutionPlan;

@@ -250,21 +250,6 @@ impl ExecutionPlan {
         }
     }
 
-    /// An empty placeholder plan (used to temporarily take ownership of
-    /// the real plan during execution).
-    pub(crate) fn empty() -> Self {
-        ExecutionPlan {
-            lowered: Plan {
-                forward: Vec::new(),
-                backward: Vec::new(),
-                n_slots: 0,
-            },
-            zero_fwd: Vec::new(),
-            zero_bwd: Vec::new(),
-            arena: false,
-        }
-    }
-
     pub(crate) fn groups(&self, backward: bool) -> &[CGroup] {
         if backward {
             &self.lowered.backward

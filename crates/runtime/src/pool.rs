@@ -106,21 +106,23 @@ struct CtxCell(UnsafeCell<WorkerCtx>);
 // SAFETY: the job protocol hands each slot to exactly one thread.
 unsafe impl Sync for CtxCell {}
 
-/// One gradient lane's scratch arena; accessed mutably only by the lane's
-/// owning worker while a job runs, and by the caller between jobs.
-struct LaneCell(UnsafeCell<Vec<f32>>);
-// SAFETY: as for `CtxCell` — lane ownership is exclusive per job.
-unsafe impl Sync for LaneCell {}
-// SAFETY: Vec<f32> is Send; the cell only restricts alias tracking.
-unsafe impl Send for LaneCell {}
-
 /// A persistent team of worker threads with per-worker GEMM engines and
 /// pool-owned gradient-lane scratch. See the module docs for the
 /// determinism and lifecycle story.
+///
+/// Pools are shareable (`Arc<WorkerPool>`): a serving replica keeps one
+/// pool and hands it to every warm per-batch-shape
+/// [`Executor`](crate::Executor) it instantiates, so plan-cache hits
+/// never spawn threads. Sharing does not relax the exclusive-run
+/// protocol — at most one executor may drive a given pool at a time.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     ctxs: Arc<Vec<CtxCell>>,
-    lanes: Vec<LaneCell>,
+    /// Gradient-lane arenas, one `Vec<f32>` per lane. Behind a mutex so
+    /// `lane_scratch` works through a shared reference; the mutex guards
+    /// arena *growth* only — workers touch lane contents through raw
+    /// spans under the exclusive-run protocol.
+    lanes: Mutex<Vec<Vec<f32>>>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
 }
@@ -129,8 +131,7 @@ impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("threads", &self.threads)
-            .field("lanes", &self.lanes.len())
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -173,7 +174,7 @@ impl WorkerPool {
         WorkerPool {
             shared,
             ctxs,
-            lanes: Vec::new(),
+            lanes: Mutex::new(Vec::new()),
             handles,
             threads,
         }
@@ -263,16 +264,19 @@ impl WorkerPool {
     /// largest request and are *zeroed*, never reallocated, on reuse.
     ///
     /// The returned pointers stay valid until the next `lane_scratch`
-    /// call; each lane's spans must be written by at most one worker at a
-    /// time (the lane-ownership schedule guarantees this).
-    pub(crate) fn lane_scratch(&mut self, lanes: usize, sizes: &[usize]) -> Vec<Vec<(*mut f32, usize)>> {
+    /// call (which may grow — and thereby reallocate — an arena); each
+    /// lane's spans must be written by at most one worker at a time (the
+    /// lane-ownership schedule guarantees this), and the exclusive-run
+    /// protocol forbids a second executor from calling in while the
+    /// spans are live.
+    pub(crate) fn lane_scratch(&self, lanes: usize, sizes: &[usize]) -> Vec<Vec<(*mut f32, usize)>> {
         let total: usize = sizes.iter().sum();
-        while self.lanes.len() < lanes {
-            self.lanes.push(LaneCell(UnsafeCell::new(Vec::new())));
+        let mut arenas = self.lanes.lock().expect("pool lane arenas");
+        while arenas.len() < lanes {
+            arenas.push(Vec::new());
         }
         let mut out = Vec::with_capacity(lanes);
-        for lane in self.lanes.iter_mut().take(lanes) {
-            let arena = lane.0.get_mut();
+        for arena in arenas.iter_mut().take(lanes) {
             if arena.len() < total {
                 arena.resize(total, 0.0);
             }
@@ -414,7 +418,7 @@ mod tests {
 
     #[test]
     fn lane_scratch_is_zeroed_and_reused() {
-        let mut pool = WorkerPool::new(1);
+        let pool = WorkerPool::new(1);
         let spans = pool.lane_scratch(2, &[3, 5]);
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].len(), 2);

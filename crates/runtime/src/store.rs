@@ -272,6 +272,34 @@ impl BufferStore {
         Ok(())
     }
 
+    /// Overwrites one item's slice of a batched buffer (or the whole
+    /// buffer when unbatched — `item` must then be 0).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `data` length differs from the buffer's per-item
+    /// length, when `item` is outside the batch, and for unknown or
+    /// arena-retired buffers.
+    pub fn write_item(&mut self, name: &str, item: usize, data: &[f32]) -> Result<(), RuntimeError> {
+        let info = self.visible(name, self.require(name)?)?.clone();
+        if data.len() != info.per_item {
+            return Err(RuntimeError::InputShape {
+                buffer: name.to_string(),
+                detail: format!("expected {} elements per item, got {}", info.per_item, data.len()),
+            });
+        }
+        let items = if info.batched { self.batch } else { 1 };
+        if item >= items {
+            return Err(RuntimeError::InputShape {
+                buffer: name.to_string(),
+                detail: format!("item {item} outside batch of {items}"),
+            });
+        }
+        let off = if info.batched { item * info.per_item } else { 0 };
+        self.storages[info.storage][off..off + info.per_item].copy_from_slice(data);
+        Ok(())
+    }
+
     /// Zeroes every activation-gradient storage (`Grad` and
     /// `InputGradStage`), run before each backward pass. Shared arena
     /// slots are skipped — the execution plan zeroes each occupant at its
@@ -345,6 +373,27 @@ mod tests {
             .write("a.value", &[0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 5.0])
             .unwrap();
         assert_eq!(store.read_item("a.value", 1).unwrap(), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn write_item_targets_one_slot() {
+        let mut store = BufferStore::new(&decls(), 3).unwrap();
+        store.write_item("a.value", 1, &[7.0; 4]).unwrap();
+        assert_eq!(store.read_item("a.value", 0).unwrap(), vec![0.0; 4]);
+        assert_eq!(store.read_item("a.value", 1).unwrap(), vec![7.0; 4]);
+        assert_eq!(store.read_item("a.value", 2).unwrap(), vec![0.0; 4]);
+        // Wrong per-item length and out-of-batch items are structured errors.
+        assert!(matches!(
+            store.write_item("a.value", 0, &[0.0; 5]),
+            Err(RuntimeError::InputShape { .. })
+        ));
+        assert!(matches!(
+            store.write_item("a.value", 3, &[0.0; 4]),
+            Err(RuntimeError::InputShape { .. })
+        ));
+        // Unbatched buffers accept only item 0.
+        store.write_item("a.weights", 0, &[1.0; 8]).unwrap();
+        assert!(store.write_item("a.weights", 1, &[1.0; 8]).is_err());
     }
 
     #[test]

@@ -364,6 +364,18 @@ pub enum TransportError {
         /// Why.
         detail: String,
     },
+    /// The requested world exceeds the transport's membership-mask
+    /// capacity: alive/failed masks are a single `u32` word, so one
+    /// group supports at most [`MAX_WORLD`] ranks. A rank ≥ 32 would
+    /// silently corrupt mask arithmetic, so group construction refuses
+    /// it up front (scaling beyond this needs wider masks or
+    /// hierarchical rings — see DESIGN.md §12).
+    TooManyRanks {
+        /// The requested world size.
+        world: usize,
+        /// The supported maximum ([`MAX_WORLD`]).
+        max: usize,
+    },
     /// Socket-level failure outside a particular peer conversation.
     Io {
         /// Why.
@@ -384,6 +396,10 @@ impl fmt::Display for TransportError {
             TransportError::PeerDead { peer } => write!(f, "peer {peer} is dead"),
             TransportError::Disconnected { peer } => write!(f, "link to peer {peer} is down"),
             TransportError::Handshake { detail } => write!(f, "handshake rejected: {detail}"),
+            TransportError::TooManyRanks { world, max } => write!(
+                f,
+                "world of {world} exceeds the {max}-rank membership-mask capacity"
+            ),
             TransportError::Io { detail } => write!(f, "transport i/o: {detail}"),
             TransportError::DeathNotice => write!(f, "a watched peer failed mid-receive"),
             TransportError::Closed => write!(f, "endpoint closed"),
@@ -468,6 +484,7 @@ pub struct Router {
 }
 
 fn full_mask(world: usize) -> u32 {
+    debug_assert!(world <= MAX_WORLD, "world {world} exceeds the mask capacity");
     if world >= 32 {
         u32::MAX
     } else {
@@ -481,14 +498,19 @@ impl Router {
     ///
     /// # Errors
     ///
-    /// [`TransportError::Handshake`] for a degenerate world (`0`, more
-    /// than [`MAX_WORLD`], or `rank` out of range).
+    /// [`TransportError::TooManyRanks`] when `world` exceeds
+    /// [`MAX_WORLD`] (the `u32` membership masks hold at most 32 ranks);
+    /// [`TransportError::Handshake`] for other degenerate geometry
+    /// (world `0`, or `rank` out of range).
     pub fn new(
         rank: usize,
         world: usize,
         metrics: Arc<FaultMetrics>,
     ) -> Result<Router, TransportError> {
-        if world == 0 || world > MAX_WORLD || rank >= world {
+        if world > MAX_WORLD {
+            return Err(TransportError::TooManyRanks { world, max: MAX_WORLD });
+        }
+        if world == 0 || rank >= world {
             return Err(TransportError::Handshake {
                 detail: format!("bad geometry: rank {rank} of world {world} (max {MAX_WORLD})"),
             });
@@ -987,6 +1009,7 @@ impl Wire for ChannelWire {
 ///
 /// # Errors
 ///
+/// [`TransportError::TooManyRanks`] for a world over [`MAX_WORLD`];
 /// [`TransportError::Handshake`] for a degenerate world size.
 pub fn channel_group_with<W: Wire>(
     world: usize,
@@ -1029,6 +1052,7 @@ pub fn channel_group_with<W: Wire>(
 ///
 /// # Errors
 ///
+/// [`TransportError::TooManyRanks`] for a world over [`MAX_WORLD`];
 /// [`TransportError::Handshake`] for a degenerate world size.
 pub fn channel_group(world: usize) -> Result<Vec<Endpoint<ChannelWire>>, TransportError> {
     channel_group_with(world, |_, w| w)
@@ -1504,6 +1528,35 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(group[0].metrics().snapshot().send_retries, 1);
+    }
+
+    #[test]
+    fn world_of_32_is_the_mask_boundary() {
+        // 32 ranks fill the u32 masks exactly and must be accepted.
+        let router = Router::new(31, MAX_WORLD, Arc::new(FaultMetrics::new())).unwrap();
+        assert_eq!(router.world(), MAX_WORLD);
+        assert_eq!(full_mask(MAX_WORLD), u32::MAX);
+        // Rank 33+ would corrupt the alive/failed masks: structured
+        // refusal, not silent truncation.
+        let err = match Router::new(0, MAX_WORLD + 1, Arc::new(FaultMetrics::new())) {
+            Ok(_) => panic!("a 33-rank router must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(
+            err,
+            TransportError::TooManyRanks { world: MAX_WORLD + 1, max: MAX_WORLD }
+        );
+        // Group constructors propagate the same error.
+        let err = match channel_group(MAX_WORLD + 1) {
+            Ok(_) => panic!("a 33-rank group must be refused"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, TransportError::TooManyRanks { world: 33, .. }));
+        // Degenerate-but-small geometry still reports Handshake.
+        assert!(matches!(
+            Router::new(5, 2, Arc::new(FaultMetrics::new())),
+            Err(TransportError::Handshake { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! The execution-plan cache, keyed by `(net fingerprint, batch)`.
+//!
+//! Lowering a net — kernel selection, bounds verification, liveness
+//! planning — is the expensive part of bringing up an executor. The
+//! cache stores one [`CompiledProgram`] per `(fingerprint, micro-batch
+//! size)` pair, so after the first batch of each size the serving path
+//! never compiles again: a tail batch of size 3 hits the size-3 entry
+//! and only instantiates (fresh buffers + parameter init, no lowering).
+//! Hit/miss counters make "zero recompiles after warmup" testable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use latte_runtime::registry::KernelRegistry;
+use latte_runtime::{CompiledProgram, ExecConfig};
+
+use crate::error::ServeError;
+use crate::model::Model;
+
+/// A shareable cache of lowered programs, keyed by
+/// `(CompiledNet::fingerprint(), batch)`.
+pub struct PlanCache {
+    registry: KernelRegistry,
+    cfg: ExecConfig,
+    entries: Mutex<HashMap<(u64, usize), Arc<CompiledProgram>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache lowering with the built-in kernel registry and the
+    /// given execution configuration.
+    pub fn new(cfg: ExecConfig) -> Self {
+        PlanCache {
+            registry: KernelRegistry::with_builtins(),
+            cfg,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the lowered program for `(model, batch)` and whether it
+    /// was already cached. On a miss this compiles and lowers the
+    /// factory's net; on a hit it is a map lookup — no compilation.
+    ///
+    /// The miss path also cross-checks the freshly compiled net's
+    /// fingerprint against the model's probed fingerprint, catching
+    /// factories that are not batch-invariant (e.g. a seed derived from
+    /// the batch size) before they can serve inconsistent results.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Compile`] for compile/lowering failures or a
+    /// non-batch-invariant factory.
+    pub fn get(
+        &self,
+        model: &Model,
+        batch: usize,
+    ) -> Result<(Arc<CompiledProgram>, bool), ServeError> {
+        let key = (model.fingerprint(), batch);
+        if let Some(hit) = self.entries.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        let compiled = model.compile_batch(batch)?;
+        if compiled.fingerprint() != model.fingerprint() {
+            return Err(ServeError::Compile {
+                detail: format!(
+                    "{}: factory is not batch-invariant (fingerprint {:#x} at batch {batch}, \
+                     {:#x} at batch 1)",
+                    model.name(),
+                    compiled.fingerprint(),
+                    model.fingerprint()
+                ),
+            });
+        }
+        let program = CompiledProgram::lower(compiled, &self.registry, self.cfg)
+            .map(Arc::new)
+            .map_err(|e| ServeError::Compile {
+                detail: format!("{} @ batch {batch}: {e}", model.name()),
+            })?;
+        let mut entries = self.entries.lock().unwrap();
+        // A concurrent miss may have raced us here; keep the first entry
+        // so every holder shares one plan.
+        let entry = entries.entry(key).or_insert(program);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// Cache hits served so far (lookups that found an entry).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (lookups that compiled).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct `(fingerprint, batch)` entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,47 @@
+//! # latte-serve
+//!
+//! A dynamic-batching inference server over the Latte runtime.
+//!
+//! Latte's compiler amortizes its work across a whole batch — but an
+//! inference service receives *single samples*. This crate bridges the
+//! two: requests are coalesced into micro-batches (flushed on size or
+//! deadline, whichever comes first), executed on a supervised pool of
+//! warm [`Executor`](latte_runtime::Executor) replicas, and every
+//! micro-batch size's lowered plan is cached by
+//! `(net fingerprint, batch)` so tail batches never recompile.
+//!
+//! * [`Model`] — a batch-parametric net factory plus the request
+//!   signature probed from a batch-1 compile.
+//! * [`Batcher`] — the pure, clock-parametric size-or-deadline
+//!   coalescer.
+//! * [`PlanCache`] — lowered [`CompiledProgram`](latte_runtime::CompiledProgram)s
+//!   keyed by `(fingerprint, batch)`, with hit/miss counters.
+//! * [`Server`] — bounded admission, dispatcher + replica threads,
+//!   crash supervision with bounded retries, per-request [`Ticket`]s.
+//! * [`loadgen`] — seeded open-loop arrival schedules (steady, bursty,
+//!   slow-client) for reproducible benchmarks.
+//!
+//! The serving guarantee the test suite pins down: a sample served in
+//! *any* micro-batch is **bit-identical** to the same sample run alone
+//! through a plain executor — batching is a scheduling decision, never
+//! a numerics decision.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod error;
+pub mod loadgen;
+pub mod model;
+pub mod replica;
+pub mod server;
+
+pub use batcher::{Batcher, FlushReason};
+pub use cache::PlanCache;
+pub use error::ServeError;
+pub use loadgen::{schedule, Arrival};
+pub use model::{Model, NetFactory};
+pub use replica::{BatchAction, BatchEngine, FaultHooks, NoHooks, ReplicaHooks};
+pub use server::{
+    GateHooks, ReplyMeta, Request, Response, ServeConfig, Server, StatsSnapshot, Ticket,
+};

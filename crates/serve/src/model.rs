@@ -1,0 +1,170 @@
+//! A served model: a batch-parametric network factory plus the input /
+//! output signature the server validates requests against.
+//!
+//! Dynamic batching means the batch size is not known until flush time,
+//! so a served model is not one `Net` but a *factory* `Fn(batch) -> Net`.
+//! The factory must be **batch-invariant**: nets it builds for different
+//! batch sizes must differ only in batch (same layers, same seeds, same
+//! parameters), so that every micro-batch size computes bit-identical
+//! per-sample results and shares one plan-cache fingerprint. The cache
+//! ([`crate::PlanCache`]) verifies this at compile time.
+
+use latte_core::dsl::Net;
+use latte_core::{compile, CompiledNet, OptLevel};
+
+use crate::error::ServeError;
+
+/// The network factory: builds the model's `Net` for a given batch size.
+pub type NetFactory = Box<dyn Fn(usize) -> Net + Send + Sync>;
+
+/// A model registered with the server: name, batch-parametric factory,
+/// optimization level, and the request signature probed from a batch-1
+/// compile.
+pub struct Model {
+    name: String,
+    factory: NetFactory,
+    opt: OptLevel,
+    fingerprint: u64,
+    inputs: Vec<(String, usize)>,
+    outputs: Vec<String>,
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("name", &self.name)
+            .field("fingerprint", &format_args!("{:#018x}", self.fingerprint))
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Model {
+    /// Registers a model. Probes the factory at batch 1 to record the
+    /// plan-cache fingerprint and the per-item input signature, and
+    /// checks that every requested output names a buffer of the compiled
+    /// net.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Compile`] when the probe compile fails or an output
+    /// buffer does not exist.
+    pub fn new(
+        name: impl Into<String>,
+        factory: NetFactory,
+        opt: OptLevel,
+        outputs: Vec<String>,
+    ) -> Result<Self, ServeError> {
+        let name = name.into();
+        let probe = factory(1);
+        let compiled = compile(&probe, &opt).map_err(|e| ServeError::Compile {
+            detail: format!("{name}: {e}"),
+        })?;
+        let inputs = compiled
+            .inputs
+            .iter()
+            .map(|i| {
+                let per_item = compiled
+                    .buffers
+                    .iter()
+                    .find(|b| b.name == i.buffer)
+                    .map(|b| b.shape.len())
+                    .unwrap_or(0);
+                (i.ensemble.clone(), per_item)
+            })
+            .collect::<Vec<_>>();
+        for out in &outputs {
+            if !compiled.buffers.iter().any(|b| &b.name == out) {
+                return Err(ServeError::Compile {
+                    detail: format!("{name}: output buffer `{out}` does not exist"),
+                });
+            }
+        }
+        Ok(Model {
+            name,
+            factory,
+            opt,
+            fingerprint: compiled.fingerprint(),
+            inputs,
+            outputs,
+        })
+    }
+
+    /// The model's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The batch-independent plan-cache fingerprint (probed at batch 1).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The request signature: every `(ensemble, per_item_len)` a request
+    /// must supply.
+    pub fn inputs(&self) -> &[(String, usize)] {
+        &self.inputs
+    }
+
+    /// The buffers read back per batch item into each response.
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Compiles the model for a concrete micro-batch size.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Compile`] when the compiler rejects the factory's
+    /// net at this batch size.
+    pub fn compile_batch(&self, batch: usize) -> Result<CompiledNet, ServeError> {
+        let net = (self.factory)(batch);
+        compile(&net, &self.opt).map_err(|e| ServeError::Compile {
+            detail: format!("{} @ batch {batch}: {e}", self.name),
+        })
+    }
+
+    /// Validates a request's inputs against the signature: every declared
+    /// ensemble present exactly once with its exact per-item length, and
+    /// nothing extra.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] describing the first mismatch.
+    pub fn validate(&self, inputs: &[(String, Vec<f32>)]) -> Result<(), ServeError> {
+        for (ensemble, len) in &self.inputs {
+            let matches: Vec<_> = inputs.iter().filter(|(n, _)| n == ensemble).collect();
+            match matches.as_slice() {
+                [] => {
+                    return Err(ServeError::BadRequest {
+                        detail: format!("missing input `{ensemble}`"),
+                    })
+                }
+                [(_, data)] => {
+                    if data.len() != *len {
+                        return Err(ServeError::BadRequest {
+                            detail: format!(
+                                "input `{ensemble}` has {} elements, expected {len}",
+                                data.len()
+                            ),
+                        });
+                    }
+                }
+                _ => {
+                    return Err(ServeError::BadRequest {
+                        detail: format!("input `{ensemble}` supplied more than once"),
+                    })
+                }
+            }
+        }
+        for (n, _) in inputs {
+            if !self.inputs.iter().any(|(ensemble, _)| ensemble == n) {
+                return Err(ServeError::BadRequest {
+                    detail: format!("unknown input `{n}`"),
+                });
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,175 @@
+//! The batch engine each replica thread runs, plus the fault hooks that
+//! let tests kill a replica mid-batch.
+//!
+//! A replica owns one [`BatchEngine`]: a persistent [`WorkerPool`] plus
+//! one warm [`Executor`] per micro-batch size already seen, all
+//! instantiated from plans in the shared [`PlanCache`]. The cache is
+//! consulted on *every* batch (so hit counters observe the steady
+//! state); warm executors make the steady state allocation-free too.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use latte_runtime::fault::FaultPlan;
+use latte_runtime::pool::WorkerPool;
+use latte_runtime::Executor;
+
+use crate::cache::PlanCache;
+use crate::error::ServeError;
+use crate::model::Model;
+
+/// What a [`ReplicaHooks::on_batch`] observer tells the replica to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchAction {
+    /// Run the batch normally.
+    Proceed,
+    /// Die mid-batch (the replica thread panics and is restarted by the
+    /// dispatcher; the batch is retried on a live replica).
+    Crash,
+}
+
+/// Test/fault seam invoked by a replica just before it executes a
+/// micro-batch.
+pub trait ReplicaHooks: Send + Sync {
+    /// Called with the replica id, the job's dispatch sequence number,
+    /// and the micro-batch size; returning [`BatchAction::Crash`] kills
+    /// the replica mid-batch.
+    fn on_batch(&self, replica: usize, seq: u64, size: usize) -> BatchAction;
+}
+
+/// The default hooks: never crash.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHooks;
+
+impl ReplicaHooks for NoHooks {
+    fn on_batch(&self, _replica: usize, _seq: u64, _size: usize) -> BatchAction {
+        BatchAction::Proceed
+    }
+}
+
+/// Hooks that replay a [`FaultPlan`] against the serving layer: each
+/// replica's batches count as its "iterations", and
+/// [`Fault::NodeCrash`](latte_runtime::fault::Fault::NodeCrash) entries
+/// kill that replica at that batch ordinal. Replacement replicas get
+/// fresh, never-reused ids, so a crash plan for replica 0 does not
+/// re-kill its replacement.
+#[derive(Debug)]
+pub struct FaultHooks {
+    plan: FaultPlan,
+    ordinals: Mutex<HashMap<usize, usize>>,
+}
+
+impl FaultHooks {
+    /// Hooks replaying `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultHooks {
+            plan,
+            ordinals: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl ReplicaHooks for FaultHooks {
+    fn on_batch(&self, replica: usize, _seq: u64, _size: usize) -> BatchAction {
+        let ordinal = {
+            let mut m = self.ordinals.lock().unwrap();
+            let slot = m.entry(replica).or_insert(0);
+            let o = *slot;
+            *slot += 1;
+            o
+        };
+        if self.plan.crashed_by(replica, ordinal) {
+            BatchAction::Crash
+        } else {
+            BatchAction::Proceed
+        }
+    }
+}
+
+/// One replica's execution state: warm executors per micro-batch size,
+/// sharing one worker pool and the server-wide plan cache.
+pub struct BatchEngine {
+    model: Arc<Model>,
+    cache: Arc<PlanCache>,
+    pool: Arc<WorkerPool>,
+    warm: HashMap<usize, Executor>,
+}
+
+impl std::fmt::Debug for BatchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEngine")
+            .field("model", &self.model.name())
+            .field("warm_sizes", &{
+                let mut s: Vec<usize> = self.warm.keys().copied().collect();
+                s.sort_unstable();
+                s
+            })
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchEngine {
+    /// A fresh engine for `model`, lowering through `cache` and running
+    /// on a new `threads`-wide worker pool.
+    pub fn new(model: Arc<Model>, cache: Arc<PlanCache>, threads: usize) -> Self {
+        BatchEngine {
+            model,
+            cache,
+            pool: Arc::new(WorkerPool::new(threads)),
+            warm: HashMap::new(),
+        }
+    }
+
+    /// Runs one micro-batch: each element of `items` is one request's
+    /// `(ensemble, per_item values)` inputs, landing in that batch slot.
+    /// Returns each item's `(output buffer, values)` rows plus whether
+    /// the batch size's plan was already cached.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Compile`] on a first-time lowering failure,
+    /// [`ServeError::Execution`] for instantiation or buffer-access
+    /// failures.
+    #[allow(clippy::type_complexity)]
+    pub fn run(
+        &mut self,
+        items: &[Vec<(String, Vec<f32>)>],
+    ) -> Result<(Vec<Vec<(String, Vec<f32>)>>, bool), ServeError> {
+        let n = items.len();
+        let (program, cache_hit) = self.cache.get(&self.model, n)?;
+        let exec = match self.warm.entry(n) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let exec = program
+                    .instantiate(Arc::clone(&self.pool))
+                    .map_err(|e| ServeError::Execution {
+                        detail: format!("instantiate @ batch {n}: {e}"),
+                    })?;
+                v.insert(exec)
+            }
+        };
+        for (slot, inputs) in items.iter().enumerate() {
+            for (ensemble, data) in inputs {
+                exec.set_input_item(ensemble, slot, data)
+                    .map_err(|e| ServeError::Execution {
+                        detail: format!("input `{ensemble}` slot {slot}: {e}"),
+                    })?;
+            }
+        }
+        exec.forward();
+        let mut out = Vec::with_capacity(n);
+        for slot in 0..n {
+            let mut rows = Vec::with_capacity(self.model.outputs().len());
+            for name in self.model.outputs() {
+                let values = exec
+                    .read_item(name, slot)
+                    .map_err(|e| ServeError::Execution {
+                        detail: format!("output `{name}` slot {slot}: {e}"),
+                    })?;
+                rows.push((name.clone(), values));
+            }
+            out.push(rows);
+        }
+        Ok((out, cache_hit))
+    }
+}

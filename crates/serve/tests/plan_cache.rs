@@ -1,0 +1,132 @@
+//! Plan-cache behavior: fingerprints are batch-invariant, tail batches
+//! reuse cached plans (zero recompiles after warmup — the hit counter
+//! is asserted, not assumed), and non-batch-invariant factories are
+//! rejected at lowering time.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use latte_core::OptLevel;
+use latte_nn::layers::{data, fully_connected, softmax_loss};
+use latte_runtime::ExecConfig;
+use latte_serve::{Model, NoHooks, PlanCache, ServeConfig, ServeError, Server};
+
+const NEVER: Duration = Duration::from_secs(3600);
+
+#[test]
+fn fingerprints_are_batch_invariant_and_distinguish_nets() {
+    for name in common::NETS {
+        let at = |batch: usize| {
+            latte_core::compile(&common::factory(name)(batch), &OptLevel::full())
+                .expect("compile")
+                .fingerprint()
+        };
+        assert_eq!(at(2), at(5), "{name}: fingerprint must not depend on batch");
+    }
+    let fingerprints: Vec<u64> = common::NETS
+        .iter()
+        .map(|n| common::model(n).fingerprint())
+        .collect();
+    for i in 0..fingerprints.len() {
+        for j in i + 1..fingerprints.len() {
+            assert_ne!(
+                fingerprints[i], fingerprints[j],
+                "{} and {} collide",
+                common::NETS[i],
+                common::NETS[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn tail_batches_never_recompile_after_warmup() {
+    let cache = Arc::new(PlanCache::new(ExecConfig {
+        threads: 1,
+        arena: false,
+    }));
+    let server = Server::start_with(
+        Arc::new(common::model("classifier")),
+        ServeConfig {
+            max_batch: 4,
+            max_delay: NEVER,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&cache),
+        Arc::new(NoHooks),
+    );
+
+    // Batch sizes 4,3,4,3,4: two distinct sizes, five batches.
+    let sizes = [4usize, 3, 4, 3, 4];
+    let mut seed = 0u64;
+    let mut first_seen = std::collections::HashSet::new();
+    for (round, &size) in sizes.iter().enumerate() {
+        let tickets: Vec<_> = (0..size)
+            .map(|_| {
+                seed += 1;
+                server.submit(common::sample("classifier", seed)).expect("submit")
+            })
+            .collect();
+        server.flush(); // no-op for full batches (already size-flushed)
+        let expect_hit = !first_seen.insert(size);
+        for t in tickets {
+            let resp = t.wait_timeout(Duration::from_secs(30)).expect("response");
+            assert_eq!(resp.meta.batch_size, size, "round {round}");
+            assert_eq!(
+                resp.meta.cache_hit, expect_hit,
+                "round {round} size {size}: wrong cache path"
+            );
+        }
+    }
+
+    // Two misses (first size-4 and first size-3 batch), hits for the
+    // other three batches, and — the serving guarantee — zero
+    // recompiles after warmup.
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(cache.hits(), 3);
+    assert_eq!(cache.len(), 2);
+    let warm_misses = cache.misses();
+    let tickets: Vec<_> = (0..4)
+        .map(|i| server.submit(common::sample("classifier", 1000 + i)).expect("submit"))
+        .collect();
+    for t in tickets {
+        assert!(t.wait_timeout(Duration::from_secs(30)).expect("response").meta.cache_hit);
+    }
+    assert_eq!(cache.misses(), warm_misses, "recompile after warmup");
+}
+
+#[test]
+fn non_batch_invariant_factories_are_rejected() {
+    // A factory that derives a layer seed from the batch size builds
+    // *different* nets per batch — the cache's fingerprint cross-check
+    // must refuse it rather than serve inconsistent results.
+    let model = Model::new(
+        "shapeshifter",
+        Box::new(|batch| {
+            let mut net = latte_core::dsl::Net::new(batch);
+            let x = data(&mut net, "data", vec![4]);
+            let head = fully_connected(&mut net, "head", x, 3, batch as u64);
+            let label = data(&mut net, "label", vec![1]);
+            softmax_loss(&mut net, "loss", head, label);
+            net
+        }),
+        OptLevel::full(),
+        vec!["head.value".to_string()],
+    )
+    .expect("probe compile succeeds");
+    let cache = PlanCache::new(ExecConfig {
+        threads: 1,
+        arena: false,
+    });
+    // Batch 1 matches the probe; any other batch changes the seed and
+    // must be caught.
+    assert!(cache.get(&model, 1).is_ok());
+    match cache.get(&model, 2) {
+        Err(ServeError::Compile { detail }) => {
+            assert!(detail.contains("not batch-invariant"), "detail: {detail}")
+        }
+        other => panic!("expected Compile error, got {other:?}"),
+    }
+}

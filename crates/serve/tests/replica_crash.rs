@@ -1,0 +1,169 @@
+//! Replica-crash-mid-batch supervision: in-flight requests are retried
+//! on a live replica, the supervisor's restart counter increments, ids
+//! are never reused, and exhausted retries surface as structured
+//! `ServeError::ReplicaFailed` — while retried results stay
+//! bit-identical to solo execution.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use latte_runtime::fault::{Fault, FaultPlan};
+use latte_runtime::ExecConfig;
+use latte_serve::{
+    BatchAction, FaultHooks, PlanCache, ReplicaHooks, Request, ServeConfig, ServeError, Server,
+};
+
+const NEVER: Duration = Duration::from_secs(3600);
+
+fn cfg(replicas: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch: 2,
+        max_delay: NEVER,
+        queue_cap: 64,
+        replicas,
+        threads: 1,
+        retry_limit: 1,
+    }
+}
+
+fn start(replicas: usize, hooks: Arc<dyn ReplicaHooks>) -> Server {
+    Server::start_with(
+        Arc::new(common::model("fc")),
+        cfg(replicas),
+        Arc::new(PlanCache::new(ExecConfig {
+            threads: 1,
+            arena: false,
+        })),
+        hooks,
+    )
+}
+
+fn assert_bit_identical(net: &str, req: &Request, got: &[(String, Vec<f32>)]) {
+    let expected = common::reference(net, req);
+    assert_eq!(got[0].0, "head.value");
+    assert_eq!(got[0].1.len(), expected.len());
+    for (g, e) in got[0].1.iter().zip(&expected) {
+        assert_eq!(g.to_bits(), e.to_bits(), "retried result diverged from solo run");
+    }
+}
+
+#[test]
+fn crashed_batch_is_retried_once_on_a_replacement_replica() {
+    // `runtime::fault` drives the injection: replica 0 dies at its first
+    // batch. NodeCrash is persistent, but the replacement gets a fresh,
+    // never-reused id (1), which the plan does not name.
+    let hooks = Arc::new(FaultHooks::new(FaultPlan::new(vec![Fault::NodeCrash {
+        node: 0,
+        iter: 0,
+    }])));
+    let server = start(1, hooks);
+
+    let reqs = [common::sample("fc", 31), common::sample("fc", 32)];
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|r| server.submit(r.clone()).expect("submit"))
+        .collect();
+    for (req, t) in reqs.iter().zip(tickets) {
+        let resp = t.wait_timeout(Duration::from_secs(30)).expect("retried response");
+        assert_eq!(resp.meta.retried, 1, "retried exactly once");
+        assert_eq!(resp.meta.replica, 1, "served by the replacement replica");
+        assert_bit_identical("fc", req, &resp.outputs);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.crashes, 1);
+    assert_eq!(stats.restarts, 1, "supervisor restart counter");
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn exhausted_retries_fail_with_structured_error_and_server_survives() {
+    // Both the original replica and its replacement die at their first
+    // batch; with retry_limit=1 the job then fails outward.
+    let hooks = Arc::new(FaultHooks::new(FaultPlan::new(vec![
+        Fault::NodeCrash { node: 0, iter: 0 },
+        Fault::NodeCrash { node: 1, iter: 0 },
+    ])));
+    let server = start(1, hooks);
+
+    let tickets: Vec<_> = (0..2)
+        .map(|i| server.submit(common::sample("fc", 40 + i)).expect("submit"))
+        .collect();
+    for t in tickets {
+        match t.wait_timeout(Duration::from_secs(30)) {
+            Err(ServeError::ReplicaFailed { retries, .. }) => assert_eq!(retries, 1),
+            other => panic!("expected ReplicaFailed, got {other:?}"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.crashes, 2);
+    assert_eq!(stats.restarts, 2);
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.completed, 0);
+
+    // The server is still alive: replica 2 serves the next batch clean.
+    let req = common::sample("fc", 50);
+    let t = server.submit(req.clone()).expect("submit after failure");
+    server.flush();
+    let resp = t.wait_timeout(Duration::from_secs(30)).expect("post-crash response");
+    assert_eq!(resp.meta.replica, 2);
+    assert_eq!(resp.meta.retried, 0);
+    assert_bit_identical("fc", &req, &resp.outputs);
+}
+
+/// Crashes whichever replica first picks up a batch, exactly once, and
+/// records the victim's id.
+#[derive(Debug, Default)]
+struct CrashFirst {
+    fired: AtomicBool,
+    victim: Mutex<Option<usize>>,
+}
+
+impl ReplicaHooks for CrashFirst {
+    fn on_batch(&self, replica: usize, _seq: u64, _size: usize) -> BatchAction {
+        if self.fired.swap(true, Ordering::SeqCst) {
+            BatchAction::Proceed
+        } else {
+            *self.victim.lock().unwrap() = Some(replica);
+            BatchAction::Crash
+        }
+    }
+}
+
+#[test]
+fn surviving_replica_picks_up_the_retried_batch() {
+    let hooks = Arc::new(CrashFirst::default());
+    let server = start(2, Arc::clone(&hooks) as Arc<dyn ReplicaHooks>);
+
+    let reqs = [common::sample("fc", 61), common::sample("fc", 62)];
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|r| server.submit(r.clone()).expect("submit"))
+        .collect();
+    let victim = {
+        let mut responses = Vec::new();
+        for (req, t) in reqs.iter().zip(tickets) {
+            let resp = t.wait_timeout(Duration::from_secs(30)).expect("response");
+            assert_eq!(resp.meta.retried, 1);
+            assert_bit_identical("fc", req, &resp.outputs);
+            responses.push(resp);
+        }
+        let victim = hooks.victim.lock().unwrap().expect("a replica crashed");
+        for resp in &responses {
+            assert_ne!(
+                resp.meta.replica, victim,
+                "retried batch must land on a live replica, not the dead one"
+            );
+        }
+        victim
+    };
+    assert!(victim < 2, "victim was one of the two original replicas");
+    let stats = server.stats();
+    assert_eq!(stats.crashes, 1);
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.completed, 2);
+}

@@ -11,6 +11,9 @@ cargo build --release
 echo "==> cargo test -q (tier-1, includes fault-injection end-to-end)"
 cargo test -q
 
+echo "==> cargo test -p latte-serve -q (serving: batching identity, flush, crash supervision)"
+cargo test -p latte-serve -q
+
 echo "==> cargo test -p latte-oracle -q (compiler-correctness oracle, fast subset)"
 cargo test -p latte-oracle -q
 
@@ -37,6 +40,11 @@ cargo run --release --quiet -p latte-bench --bin throughput -- --validate target
 echo "==> cluster bench smoke + artifact schema validation"
 cargo run --release --quiet -p latte-bench --bin cluster -- --smoke --out target/BENCH_cluster_smoke.json
 cargo run --release --quiet -p latte-bench --bin cluster -- --validate target/BENCH_cluster_smoke.json
+
+echo "==> serving bench smoke + artifact schema validation (incl. checked-in artifact)"
+cargo run --release --quiet -p latte-bench --bin serving -- --smoke --out target/BENCH_serving_smoke.json
+cargo run --release --quiet -p latte-bench --bin serving -- --validate target/BENCH_serving_smoke.json
+cargo run --release --quiet -p latte-bench --bin serving -- --validate BENCH_serving.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
