@@ -15,13 +15,18 @@
 //! `BENCH_serving.json`), `--validate <path>` (parse an existing
 //! artifact, check its schema, and exit — the CI bench-smoke step).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use latte_bench::json::{parse, Json};
 use latte_core::dsl::Net;
 use latte_core::OptLevel;
 use latte_nn::layers::{data, fully_connected, relu, softmax_loss, tanh};
-use latte_serve::{loadgen, Arrival, Model, Request, ServeConfig, Server, ServeError};
+use latte_serve::net::run_adversary;
+use latte_serve::{
+    loadgen, Arrival, Client, Misbehavior, Model, NetConfig, NetError, NetFrontend, Request,
+    ServeConfig, Server, ServeError,
+};
 
 struct Args {
     smoke: bool,
@@ -198,6 +203,207 @@ fn scenario(name: &str, arrival: &Arrival, n: usize, seed: u64, cfg: ServeConfig
     ])
 }
 
+/// Replays closed-loop traffic over real loopback TCP — through the
+/// framed protocol, the per-connection reader/writer threads, and the
+/// deadline/admission path — while a seeded fleet of adversarial
+/// clients (slow-loris, mid-frame disconnects, corrupt CRCs, a
+/// past-deadline flood) rides alongside. The summary carries the same
+/// latency/batching figures as the in-process scenarios plus the
+/// fault-hardening counters, so a regression in shedding or connection
+/// hygiene shows up in the artifact.
+fn tcp_scenario(name: &str, n: usize, seed: u64, cfg: ServeConfig) -> Json {
+    const PATIENCE: Duration = Duration::from_secs(10);
+    const FLOOD: usize = 16;
+    let net_cfg = NetConfig {
+        max_connections: 16,
+        read_timeout: Duration::from_millis(300),
+        ..NetConfig::default()
+    };
+
+    let server = Arc::new(Server::start(model(), cfg));
+    let warm_misses = warmup(&server, cfg.max_batch);
+    let front = NetFrontend::bind(Arc::clone(&server), "127.0.0.1:0", net_cfg)
+        .expect("loopback bind");
+    let addr = front.addr();
+
+    // Well-behaved closed-loop clients: each owns one connection and
+    // round-trips its share of the load.
+    let client_threads = 4;
+    let per_client = n / client_threads;
+    let start = Instant::now();
+    let clients: Vec<_> = (0..client_threads)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, PATIENCE).expect("client connect");
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut rejected = 0u64;
+                for i in 0..per_client {
+                    let req = request(seed.wrapping_add((c * per_client + i) as u64));
+                    let t0 = Instant::now();
+                    match client.call(i as u64, req.inputs, None) {
+                        Ok(_) => latencies.push(t0.elapsed()),
+                        Err(NetError::Remote { .. }) => rejected += 1,
+                        Err(e) => panic!("well-behaved client failed: {e}"),
+                    }
+                }
+                client.bye().expect("polite close");
+                (latencies, rejected)
+            })
+        })
+        .collect();
+
+    // The adversary fleet, concurrent with the real traffic. A corrupt
+    // frame and a past-deadline flood are always present so the
+    // shedding counters are exercised on every run, whatever the
+    // seeded mix contributes.
+    let mut mix = loadgen::misbehaviors(4, seed ^ 0xad5e_5a1e, FLOOD);
+    mix.push(Misbehavior::HoldOpen);
+    mix.push(Misbehavior::CorruptCrc);
+    mix.push(Misbehavior::PastDeadlineFlood { requests: FLOOD });
+    let floods: usize = mix
+        .iter()
+        .map(|m| match m {
+            Misbehavior::PastDeadlineFlood { requests } => *requests,
+            _ => 0,
+        })
+        .sum();
+    let adversaries: Vec<_> = mix
+        .into_iter()
+        .map(|m| {
+            std::thread::spawn(move || {
+                run_adversary(addr, &m, PATIENCE).expect("adversary contract");
+            })
+        })
+        .collect();
+
+    // A client that submits work and hangs up without reading the
+    // reply: the late delivery must be dropped and counted, never
+    // block a writer thread.
+    {
+        let mut quitter = Client::connect(addr, PATIENCE).expect("quitter connect");
+        let req = request(seed ^ 0x71);
+        quitter
+            .send_request(0, req.inputs, None)
+            .expect("quitter send");
+        drop(quitter);
+    }
+
+    let mut latencies = Vec::with_capacity(n);
+    let mut rejected = 0u64;
+    for h in clients {
+        let (lat, rej) = h.join().expect("client thread");
+        latencies.extend(lat);
+        rejected += rej;
+    }
+    let makespan = start.elapsed().as_secs_f64();
+    for h in adversaries {
+        h.join().expect("adversary thread");
+    }
+
+    // Saturate the connection cap so the refusal path is exercised:
+    // every connect past `max_connections` must draw the structured
+    // `ConnLimit` frame, never a hang.
+    let mut held = Vec::new();
+    let mut cap_refused = 0u64;
+    for _ in 0..net_cfg.max_connections + 2 {
+        match Client::connect(addr, PATIENCE) {
+            Ok(c) => held.push(c),
+            Err(NetError::Remote { .. }) => cap_refused += 1,
+            Err(e) => panic!("cap probe drew an unstructured failure: {e}"),
+        }
+    }
+    assert!(cap_refused >= 2, "the connection cap never refused anyone");
+    drop(held);
+
+    // Graceful-drain order, same as latte-served on SIGTERM.
+    server.shutdown();
+    front.close();
+
+    latencies.sort();
+    let stats = server.stats();
+    let cache = server.cache();
+    let recompiles_after_warmup = cache.misses() - warm_misses;
+    let completed = latencies.len() as u64;
+    let qps = completed as f64 / makespan;
+    let p50 = percentile_ms(&latencies, 50.0);
+    let p99 = percentile_ms(&latencies, 99.0);
+    let run_batches = stats.batches - cfg.max_batch as u64;
+    let mean_batch = if run_batches > 0 {
+        completed as f64 / run_batches as f64
+    } else {
+        0.0
+    };
+    assert_eq!(
+        stats.deadline_rejected + stats.deadline_shed,
+        floods as u64,
+        "every flooded past-deadline request must be rejected or shed, never executed"
+    );
+    assert!(stats.conn_timeouts >= 1, "the held-open connection was never reclaimed");
+    assert!(stats.frames_corrupt >= 1, "the corrupt frame went unnoticed");
+    assert!(
+        stats.replies_dropped >= 1,
+        "the quitter's abandoned reply was never counted"
+    );
+
+    println!(
+        "{name}: {completed}/{n} ok over TCP, {rejected} rejected, p50 {p50:.3} ms, \
+         p99 {p99:.3} ms, {qps:.0} QPS, mean batch {mean_batch:.2}; \
+         conns {}/{} rejected, {} timed out, {} corrupt frames, \
+         {} deadline-rejected + {} shed, {} replies dropped",
+        stats.conn_rejected,
+        stats.conn_accepted + stats.conn_rejected,
+        stats.conn_timeouts,
+        stats.frames_corrupt,
+        stats.deadline_rejected,
+        stats.deadline_shed,
+        stats.replies_dropped,
+    );
+
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("requests", Json::Num(n as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("p50_ms", Json::Num(p50)),
+        ("p99_ms", Json::Num(p99)),
+        ("sustained_qps", Json::Num(qps)),
+        ("completed", Json::Num(completed as f64)),
+        ("rejected", Json::Num(rejected as f64)),
+        ("batches", Json::Num(run_batches as f64)),
+        ("mean_batch", Json::Num(mean_batch)),
+        (
+            "flush",
+            Json::obj([
+                ("size", Json::Num(stats.flush_size as f64)),
+                ("deadline", Json::Num(stats.flush_deadline as f64)),
+                ("drain", Json::Num(stats.flush_drain as f64)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::Num(cache.hits() as f64)),
+                ("misses", Json::Num(cache.misses() as f64)),
+                (
+                    "recompiles_after_warmup",
+                    Json::Num(recompiles_after_warmup as f64),
+                ),
+            ]),
+        ),
+        (
+            "net",
+            Json::obj([
+                ("conn_accepted", Json::Num(stats.conn_accepted as f64)),
+                ("conn_rejected", Json::Num(stats.conn_rejected as f64)),
+                ("conn_timeouts", Json::Num(stats.conn_timeouts as f64)),
+                ("frames_corrupt", Json::Num(stats.frames_corrupt as f64)),
+                ("deadline_rejected", Json::Num(stats.deadline_rejected as f64)),
+                ("deadline_shed", Json::Num(stats.deadline_shed as f64)),
+                ("replies_dropped", Json::Num(stats.replies_dropped as f64)),
+            ]),
+        ),
+    ])
+}
+
 /// Schema check for a written artifact. Returns a list of violations.
 fn validate_doc(doc: &Json) -> Vec<String> {
     let mut errs = Vec::new();
@@ -212,7 +418,7 @@ fn validate_doc(doc: &Json) -> Vec<String> {
     match doc.get("scenarios").and_then(Json::as_arr) {
         None => errs.push("`scenarios` must be an array".into()),
         Some(entries) => {
-            for want in ["steady", "bursty"] {
+            for want in ["steady", "bursty", "tcp"] {
                 if !entries
                     .iter()
                     .any(|e| e.get("name").and_then(Json::as_str) == Some(want))
@@ -246,6 +452,21 @@ fn validate_doc(doc: &Json) -> Vec<String> {
                 for key in ["hits", "misses", "recompiles_after_warmup"] {
                     if e.get("cache").and_then(|c| c.get(key)).and_then(Json::as_num).is_none() {
                         errs.push(format!("scenarios[{i}].cache.{key} missing or not a number"));
+                    }
+                }
+                if e.get("name").and_then(Json::as_str) == Some("tcp") {
+                    for key in [
+                        "conn_accepted",
+                        "conn_rejected",
+                        "conn_timeouts",
+                        "frames_corrupt",
+                        "deadline_rejected",
+                        "deadline_shed",
+                        "replies_dropped",
+                    ] {
+                        if e.get("net").and_then(|v| v.get(key)).and_then(Json::as_num).is_none() {
+                            errs.push(format!("scenarios[{i}].net.{key} missing or not a number"));
+                        }
                     }
                 }
             }
@@ -314,6 +535,7 @@ fn main() {
             17,
             cfg,
         ),
+        tcp_scenario("tcp", n, 19, cfg),
     ];
 
     let doc = Json::obj([

@@ -23,6 +23,9 @@
 //!   ring all-reduce (Figures 18–19), including the fault-aware
 //!   multi-iteration mode with retries, straggler detection, and
 //!   degraded (lossy) all-reduce.
+//! * [`frame`] — the shared wire-framing conventions (CRC32-sealed
+//!   payloads behind a length prefix) used by both the training
+//!   transport and the `latte-serve` network front-end.
 //! * [`transport`] — the real communicator layer: framed, CRC-checked,
 //!   deadline-bounded gradient exchange behind the `Transport` trait,
 //!   with an in-process channel backend (deterministic tests) and a TCP
@@ -58,6 +61,7 @@ pub mod data;
 pub mod dist;
 pub mod error;
 pub mod fault;
+pub mod frame;
 pub mod health;
 pub mod metrics;
 mod exec;

@@ -44,15 +44,14 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::checkpoint::crc32;
 use crate::error::RuntimeError;
+use crate::frame::{read_frame, seal, verify, write_frame, FrameIntegrity, CRC_LEN};
 use crate::metrics::FaultMetrics;
 
 /// Version stamped into every frame and checked during the handshake.
@@ -63,7 +62,7 @@ pub const MAX_WORLD: usize = 32;
 
 const MAGIC: u16 = 0x4C54; // "LT"
 pub(crate) const HEADER_LEN: usize = 36;
-const TRAILER_LEN: usize = 4;
+const TRAILER_LEN: usize = CRC_LEN;
 /// Sanity cap on frame payloads (64 MiB of gradients per chunk).
 const MAX_PAYLOAD: usize = 1 << 26;
 
@@ -211,9 +210,7 @@ impl Frame {
         for v in &self.payload {
             out.extend_from_slice(&v.to_le_bytes());
         }
-        let crc = crc32(&out);
-        out.extend_from_slice(&crc.to_le_bytes());
-        out
+        seal(out)
     }
 
     /// Parses and CRC-verifies an encoded frame.
@@ -244,11 +241,10 @@ impl Frame {
         if bytes.len() != HEADER_LEN + plen + TRAILER_LEN {
             return Err(FrameError::Truncated);
         }
-        let body = &bytes[..HEADER_LEN + plen];
-        let want = u32_at(HEADER_LEN + plen);
-        if crc32(body) != want {
-            return Err(FrameError::BadCrc);
-        }
+        verify(bytes).map_err(|e| match e {
+            FrameIntegrity::BadCrc => FrameError::BadCrc,
+            FrameIntegrity::Truncated => FrameError::Truncated,
+        })?;
         let mut payload = Vec::with_capacity(plen / 4);
         for i in 0..plen / 4 {
             let o = HEADER_LEN + 4 * i;
@@ -1122,24 +1118,11 @@ impl TcpWire {
 }
 
 fn write_wire_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
-    stream.write_all(bytes)?;
-    stream.flush()
+    write_frame(stream, bytes)
 }
 
 fn read_wire_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-    let mut len = [0u8; 4];
-    stream.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
-    if len > HEADER_LEN + MAX_PAYLOAD + TRAILER_LEN {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "oversized wire frame",
-        ));
-    }
-    let mut buf = vec![0u8; len];
-    stream.read_exact(&mut buf)?;
-    Ok(buf)
+    read_frame(stream, HEADER_LEN + MAX_PAYLOAD + TRAILER_LEN)
 }
 
 fn hello_frame(rank: usize, world: usize, fingerprint: u32) -> Vec<u8> {

@@ -112,6 +112,33 @@ impl<T> Batcher<T> {
     }
 }
 
+/// Splits a flushed batch into `(live, expired)` by each item's
+/// client-supplied deadline at time `now` (items without a deadline are
+/// always live). Order within each half is preserved.
+///
+/// This is the flush-time half of deadline propagation: a request whose
+/// deadline passed while it coalesced must be *shed* — counted and
+/// answered with a structured error — never executed, so an expired
+/// flood cannot occupy replica time. Shedding every item turns the
+/// flush into a no-op execution (no batch runs at all). Like the
+/// [`Batcher`] itself this is pure and clock-parametric: `now` comes
+/// from the caller, so tests drive it with a virtual clock.
+pub fn shed_expired<T>(
+    items: Vec<T>,
+    now: Instant,
+    deadline_of: impl Fn(&T) -> Option<Instant>,
+) -> (Vec<T>, Vec<T>) {
+    let mut live = Vec::with_capacity(items.len());
+    let mut expired = Vec::new();
+    for item in items {
+        match deadline_of(&item) {
+            Some(d) if d <= now => expired.push(item),
+            _ => live.push(item),
+        }
+    }
+    (live, expired)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +195,49 @@ mod tests {
         b.push(1, t0);
         let (_, reason) = b.push(2, t0 + Duration::from_millis(1)).unwrap();
         assert_eq!(reason, FlushReason::Size);
+    }
+
+    #[test]
+    fn shed_splits_expired_from_live_at_flush() {
+        // Virtual clock: items carry (id, deadline) pairs.
+        let t0 = clock();
+        let items = vec![
+            (1, Some(t0 + Duration::from_millis(5))),
+            (2, None),
+            (3, Some(t0 + Duration::from_millis(50))),
+            (4, Some(t0 + Duration::from_millis(10))),
+        ];
+        let now = t0 + Duration::from_millis(10);
+        let (live, expired) = shed_expired(items, now, |i| i.1);
+        // Deadlines at or before `now` are expired; None never expires.
+        assert_eq!(live.iter().map(|i| i.0).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(expired.iter().map(|i| i.0).collect::<Vec<_>>(), vec![1, 4]);
+    }
+
+    #[test]
+    fn shed_of_an_all_expired_batch_leaves_nothing_to_execute() {
+        let t0 = clock();
+        let items = vec![(1, Some(t0)), (2, Some(t0 + Duration::from_millis(1)))];
+        let (live, expired) = shed_expired(items, t0 + Duration::from_millis(2), |i| i.1);
+        assert!(live.is_empty(), "an all-expired flush must be a no-op execution");
+        assert_eq!(expired.len(), 2);
+    }
+
+    #[test]
+    fn shed_through_a_drain_flush_preserves_order() {
+        // Drain-during-shutdown: the batcher force-flushes, then the
+        // shed splits the partial batch — both halves in arrival order.
+        let mut b = Batcher::new(8, Duration::from_secs(60));
+        let t0 = clock();
+        b.push((1, Some(t0 + Duration::from_millis(1))), t0);
+        b.push((2, None), t0);
+        b.push((3, Some(t0 + Duration::from_millis(90))), t0);
+        let (batch, reason) = b.drain().expect("drain flushes the partial batch");
+        assert_eq!(reason, FlushReason::Drain);
+        let (live, expired) = shed_expired(batch, t0 + Duration::from_millis(10), |i| i.1);
+        assert_eq!(live.iter().map(|i| i.0).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(expired.iter().map(|i| i.0).collect::<Vec<_>>(), vec![1]);
+        assert!(b.drain().is_none(), "drain is still idempotent after a shed");
     }
 
     #[test]

@@ -51,6 +51,19 @@ pub enum ServeError {
     /// A bounded [`Ticket::wait_timeout`](crate::Ticket::wait_timeout)
     /// expired before the response arrived.
     WaitTimeout,
+    /// The request's client-supplied deadline had already passed — at
+    /// admission (the request never occupied a queue slot) or at batch
+    /// flush (the request was shed before execution). Either way the
+    /// work was never run: a caller that can no longer use the answer
+    /// must not cost the server a batch slot.
+    DeadlineExceeded {
+        /// How far past the deadline the request was when rejected/shed.
+        late_by: std::time::Duration,
+    },
+    /// The server is draining for graceful shutdown: admission is
+    /// stopped, but every previously admitted request will still be
+    /// answered before the server exits.
+    Draining,
 }
 
 impl fmt::Display for ServeError {
@@ -67,6 +80,10 @@ impl fmt::Display for ServeError {
                 write!(f, "replica failed after {retries} retries: {detail}")
             }
             ServeError::WaitTimeout => write!(f, "timed out waiting for a response"),
+            ServeError::DeadlineExceeded { late_by } => {
+                write!(f, "request deadline exceeded ({late_by:?} late)")
+            }
+            ServeError::Draining => write!(f, "server is draining for shutdown"),
         }
     }
 }

@@ -18,8 +18,15 @@
 //!   keyed by `(fingerprint, batch)`, with hit/miss counters.
 //! * [`Server`] — bounded admission, dispatcher + replica threads,
 //!   crash supervision with bounded retries, per-request [`Ticket`]s.
+//! * [`net`] — the fault-hardened framed-TCP front-end: versioned
+//!   handshake, CRC-sealed frames, wire deadlines, slow-loris timeouts,
+//!   bounded reply backpressure, and graceful drain (the `latte-served`
+//!   binary wraps it).
 //! * [`loadgen`] — seeded open-loop arrival schedules (steady, bursty,
-//!   slow-client) for reproducible benchmarks.
+//!   slow-client) plus the adversarial-client vocabulary
+//!   ([`loadgen::Misbehavior`]) for reproducible chaos runs.
+//! * [`zoo`] — batch-parametric demo models the binary, bench, and
+//!   tests serve out of the box.
 //!
 //! The serving guarantee the test suite pins down: a sample served in
 //! *any* micro-batch is **bit-identical** to the same sample run alone
@@ -33,14 +40,17 @@ pub mod cache;
 pub mod error;
 pub mod loadgen;
 pub mod model;
+pub mod net;
 pub mod replica;
 pub mod server;
+pub mod zoo;
 
 pub use batcher::{Batcher, FlushReason};
 pub use cache::PlanCache;
 pub use error::ServeError;
-pub use loadgen::{schedule, Arrival};
+pub use loadgen::{schedule, Arrival, Misbehavior};
 pub use model::{Model, NetFactory};
+pub use net::{Client, HealthReport, NetConfig, NetError, NetFrontend, NetReply, WireError};
 pub use replica::{BatchAction, BatchEngine, FaultHooks, NoHooks, ReplicaHooks};
 pub use server::{
     GateHooks, ReplyMeta, Request, Response, ServeConfig, Server, StatsSnapshot, Ticket,

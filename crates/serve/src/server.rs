@@ -30,7 +30,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use latte_runtime::ExecConfig;
 
-use crate::batcher::{Batcher, FlushReason};
+use crate::batcher::{shed_expired, Batcher, FlushReason};
 use crate::cache::PlanCache;
 use crate::error::ServeError;
 use crate::model::Model;
@@ -181,10 +181,32 @@ pub struct StatsSnapshot {
     pub restarts: u64,
     /// High-water mark of admitted-but-unfinished requests.
     pub max_depth: usize,
+    /// Requests refused at admission because their client deadline had
+    /// already passed — they never occupied a queue slot.
+    pub deadline_rejected: u64,
+    /// Admitted requests shed at batch-flush time because their client
+    /// deadline passed while they coalesced — counted, answered with
+    /// [`ServeError::DeadlineExceeded`], and never executed.
+    pub deadline_shed: u64,
+    /// Replies that found their receiver gone (an abandoned
+    /// [`Ticket`], a disconnected network client) or refusing to drain
+    /// (a full per-connection response queue) and were dropped instead
+    /// of leaked.
+    pub replies_dropped: u64,
+    /// Network connections accepted by the front-end.
+    pub conn_accepted: u64,
+    /// Network connections refused at the max-connection cap or during
+    /// handshake (version mismatch, bad first frame).
+    pub conn_rejected: u64,
+    /// Network connections closed by a read/write timeout — the
+    /// slow-loris defense.
+    pub conn_timeouts: u64,
+    /// Frames that arrived with a bad CRC or an undecodable body.
+    pub frames_corrupt: u64,
 }
 
 #[derive(Default)]
-struct ServeStats {
+pub(crate) struct ServeStats {
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
@@ -197,10 +219,17 @@ struct ServeStats {
     crashes: AtomicU64,
     restarts: AtomicU64,
     max_depth: AtomicUsize,
+    deadline_rejected: AtomicU64,
+    deadline_shed: AtomicU64,
+    pub(crate) replies_dropped: AtomicU64,
+    pub(crate) conn_accepted: AtomicU64,
+    pub(crate) conn_rejected: AtomicU64,
+    pub(crate) conn_timeouts: AtomicU64,
+    pub(crate) frames_corrupt: AtomicU64,
 }
 
 impl ServeStats {
-    fn snapshot(&self) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -214,6 +243,48 @@ impl ServeStats {
             crashes: self.crashes.load(Ordering::Relaxed),
             restarts: self.restarts.load(Ordering::Relaxed),
             max_depth: self.max_depth.load(Ordering::Relaxed),
+            deadline_rejected: self.deadline_rejected.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
+            conn_accepted: self.conn_accepted.load(Ordering::Relaxed),
+            conn_rejected: self.conn_rejected.load(Ordering::Relaxed),
+            conn_timeouts: self.conn_timeouts.load(Ordering::Relaxed),
+            frames_corrupt: self.frames_corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Where an admitted request's reply goes. In-process callers get a
+/// dedicated unbounded channel behind a [`Ticket`]; network connections
+/// share one *bounded* per-connection channel with replies tagged by
+/// the client's request id (the response-backpressure seam).
+pub(crate) enum ReplySink {
+    /// A [`Ticket`]'s private channel.
+    Ticket(Sender<Result<Response, ServeError>>),
+    /// A tagged, bounded per-connection reply queue.
+    Routed {
+        /// The client-chosen request id echoed on the reply frame.
+        id: u64,
+        /// The connection's bounded reply queue.
+        tx: mpsc::SyncSender<(u64, Result<Response, ServeError>)>,
+    },
+}
+
+impl ReplySink {
+    /// Delivers a reply, detecting dead or non-draining receivers: an
+    /// abandoned [`Ticket`] (dropped or timed out) and a disconnected
+    /// client both surface as a send error, a network client that
+    /// stopped draining its bounded reply queue as a full queue. In
+    /// every such case the reply is dropped — not leaked into a live
+    /// slot — and counted in
+    /// [`StatsSnapshot::replies_dropped`].
+    fn send(&self, stats: &ServeStats, reply: Result<Response, ServeError>) {
+        let delivered = match self {
+            ReplySink::Ticket(tx) => tx.send(reply).is_ok(),
+            ReplySink::Routed { id, tx } => tx.try_send((*id, reply)).is_ok(),
+        };
+        if !delivered {
+            stats.replies_dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -222,8 +293,11 @@ impl ServeStats {
 struct Pending {
     seq: u64,
     inputs: Vec<(String, Vec<f32>)>,
-    tx: Sender<Result<Response, ServeError>>,
+    sink: ReplySink,
     submitted: Instant,
+    /// The client-supplied completion deadline, if any: checked at
+    /// admission and again at every batch flush.
+    deadline: Option<Instant>,
     retried: u32,
 }
 
@@ -298,8 +372,8 @@ struct Shared {
     threads: usize,
 }
 
-/// The running server. Dropping it drains pending work and joins every
-/// thread.
+/// The running server. [`Server::shutdown`] (or dropping it) drains
+/// pending work and joins every thread.
 pub struct Server {
     model: Arc<Model>,
     cache: Arc<PlanCache>,
@@ -308,7 +382,8 @@ pub struct Server {
     depth: Arc<AtomicUsize>,
     next_seq: AtomicU64,
     stats: Arc<ServeStats>,
-    dispatcher: Option<JoinHandle<()>>,
+    draining: AtomicBool,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -367,7 +442,8 @@ impl Server {
             depth,
             next_seq: AtomicU64::new(0),
             stats,
-            dispatcher: Some(dispatcher),
+            draining: AtomicBool::new(false),
+            dispatcher: Mutex::new(Some(dispatcher)),
         }
     }
 
@@ -379,6 +455,48 @@ impl Server {
     /// [`ServeError::Overloaded`] when admission control is at capacity,
     /// [`ServeError::Closed`] after shutdown.
     pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(req, None)
+    }
+
+    /// Submits one request carrying a client completion deadline. A
+    /// deadline already in the past is rejected with
+    /// [`ServeError::DeadlineExceeded`] *before* the request can occupy
+    /// a queue slot; a deadline that expires while the request
+    /// coalesces sheds it at flush time — either way the model never
+    /// runs for an answer nobody can use.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit`], plus [`ServeError::DeadlineExceeded`].
+    pub fn submit_with_deadline(
+        &self,
+        req: Request,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let seq = self.submit_sink(req, deadline, ReplySink::Ticket(tx))?;
+        Ok(Ticket { seq, rx })
+    }
+
+    /// The shared admission path: deadline check, draining check,
+    /// bounded-depth CAS, then hand-off to the dispatcher. The network
+    /// front-end calls this directly with a [`ReplySink::Routed`] sink.
+    pub(crate) fn submit_sink(
+        &self,
+        req: Request,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<u64, ServeError> {
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if d <= now {
+                self.stats.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded { late_by: now - d });
+            }
+        }
+        if self.draining.load(Ordering::Acquire) {
+            return Err(ServeError::Draining);
+        }
         self.model.validate(&req.inputs)?;
         let cap = self.cfg.queue_cap;
         let mut d = self.depth.load(Ordering::Relaxed);
@@ -400,12 +518,12 @@ impl Server {
         }
         self.stats.max_depth.fetch_max(d + 1, Ordering::Relaxed);
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = mpsc::channel();
         let pending = Pending {
             seq,
             inputs: req.inputs,
-            tx,
+            sink,
             submitted: Instant::now(),
+            deadline,
             retried: 0,
         };
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -413,7 +531,7 @@ impl Server {
             self.depth.fetch_sub(1, Ordering::AcqRel);
             return Err(ServeError::Closed);
         }
-        Ok(Ticket { seq, rx })
+        Ok(seq)
     }
 
     /// Forces the currently coalescing partial batch out immediately
@@ -426,6 +544,53 @@ impl Server {
     /// A snapshot of the server's counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The shared counter cell (the network front-end feeds its
+    /// connection counters into the same snapshot).
+    pub(crate) fn stats_cell(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Admitted-but-unfinished requests right now (the quantity
+    /// admission control bounds by `queue_cap`).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Whether the server is draining for shutdown: admission is
+    /// stopped ([`ServeError::Draining`]) but already admitted requests
+    /// are still being answered.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Gracefully drains and stops the server, deterministically:
+    ///
+    /// 1. admission flips to [`ServeError::Draining`] (new submits are
+    ///    refused, nothing new enters the queue);
+    /// 2. the batcher's partial batch is force-flushed (shedding any
+    ///    expired requests);
+    /// 3. every in-flight and queued micro-batch runs to completion and
+    ///    its replies are delivered;
+    /// 4. replica threads and the dispatcher are joined.
+    ///
+    /// Idempotent: later calls (and the eventual drop) return
+    /// immediately. A replica wedged by a blocking test hook is
+    /// abandoned after 30 s rather than hanging the caller forever.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::Release);
+        let handle = self.dispatcher.lock().unwrap().take();
+        let Some(handle) = handle else { return };
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.ctl.send(Msg::Shutdown(ack_tx)).is_ok()
+            && ack_rx.recv_timeout(Duration::from_secs(30)).is_err()
+        {
+            // A wedged replica stalls the drain; detach rather than
+            // hang the caller forever.
+            return;
+        }
+        let _ = handle.join();
     }
 
     /// The plan cache this server lowers through.
@@ -446,18 +611,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        let (ack_tx, ack_rx) = mpsc::channel();
-        if self.ctl.send(Msg::Shutdown(ack_tx)).is_ok() {
-            // A replica wedged by a blocking test hook could stall the
-            // drain; detach rather than hang the caller forever.
-            if ack_rx.recv_timeout(Duration::from_secs(30)).is_err() {
-                self.dispatcher.take();
-                return;
-            }
-        }
-        if let Some(h) = self.dispatcher.take() {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -470,9 +624,25 @@ fn dispatcher_loop(rx: Receiver<Msg>, shared: Arc<Shared>, cfg: ServeConfig) {
         .collect();
 
     let dispatch = |items: Vec<Pending>, flush: FlushReason, next_job_seq: &mut u64| {
+        // Flush-time deadline propagation: requests whose client
+        // deadline passed while coalescing are shed here — counted,
+        // answered, never executed. An all-expired batch dispatches
+        // nothing at all.
+        let now = Instant::now();
+        let (live, expired) = shed_expired(items, now, |p| p.deadline);
+        for p in expired {
+            shared.depth.fetch_sub(1, Ordering::AcqRel);
+            shared.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
+            let late_by = now - p.deadline.expect("shed items carry a deadline");
+            p.sink
+                .send(&shared.stats, Err(ServeError::DeadlineExceeded { late_by }));
+        }
+        if live.is_empty() {
+            return;
+        }
         let job = Job {
             seq: *next_job_seq,
-            items,
+            items: live,
             flush,
             crashes: 0,
         };
@@ -525,10 +695,13 @@ fn dispatcher_loop(rx: Receiver<Msg>, shared: Arc<Shared>, cfg: ServeConfig) {
                     for p in job.items {
                         shared.depth.fetch_sub(1, Ordering::AcqRel);
                         shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                        let _ = p.tx.send(Err(ServeError::ReplicaFailed {
-                            detail: detail.clone(),
-                            retries,
-                        }));
+                        p.sink.send(
+                            &shared.stats,
+                            Err(ServeError::ReplicaFailed {
+                                detail: detail.clone(),
+                                retries,
+                            }),
+                        );
                     }
                 } else {
                     shared.stats.retries.fetch_add(1, Ordering::Relaxed);
@@ -612,10 +785,13 @@ fn replica_loop(id: usize, shared: Arc<Shared>) {
                     // the send must observe its own completion in stats.
                     shared.depth.fetch_sub(1, Ordering::AcqRel);
                     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                    let _ = p.tx.send(Ok(Response {
-                        outputs: rows,
-                        meta,
-                    }));
+                    p.sink.send(
+                        &shared.stats,
+                        Ok(Response {
+                            outputs: rows,
+                            meta,
+                        }),
+                    );
                 }
             }
             Ok(Err(e)) => {
@@ -624,7 +800,7 @@ fn replica_loop(id: usize, shared: Arc<Shared>) {
                 for p in job.items {
                     shared.depth.fetch_sub(1, Ordering::AcqRel);
                     shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = p.tx.send(Err(e.clone()));
+                    p.sink.send(&shared.stats, Err(e.clone()));
                 }
             }
             Err(panic) => {
@@ -638,6 +814,48 @@ fn replica_loop(id: usize, shared: Arc<Shared>) {
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err_reply() -> Result<Response, ServeError> {
+        Err(ServeError::WaitTimeout)
+    }
+
+    #[test]
+    fn an_abandoned_ticket_receiver_counts_a_dropped_reply() {
+        let stats = ServeStats::default();
+        let (tx, rx) = mpsc::channel();
+        let sink = ReplySink::Ticket(tx);
+        drop(rx);
+        sink.send(&stats, err_reply());
+        assert_eq!(stats.snapshot().replies_dropped, 1);
+    }
+
+    #[test]
+    fn a_full_routed_queue_counts_a_dropped_reply_without_blocking() {
+        // The per-connection backpressure seam: a client that stops
+        // draining its bounded reply queue loses replies (counted),
+        // and the replica thread never blocks on it.
+        let stats = ServeStats::default();
+        let (tx, _rx) = mpsc::sync_channel(1);
+        let sink = ReplySink::Routed { id: 7, tx };
+        sink.send(&stats, err_reply()); // fills the queue
+        sink.send(&stats, err_reply()); // refused: queue full
+        assert_eq!(stats.snapshot().replies_dropped, 1);
+    }
+
+    #[test]
+    fn a_disconnected_routed_queue_counts_a_dropped_reply() {
+        let stats = ServeStats::default();
+        let (tx, rx) = mpsc::sync_channel::<(u64, Result<Response, ServeError>)>(4);
+        let sink = ReplySink::Routed { id: 3, tx };
+        drop(rx);
+        sink.send(&stats, err_reply());
+        assert_eq!(stats.snapshot().replies_dropped, 1);
     }
 }
 

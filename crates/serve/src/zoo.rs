@@ -1,0 +1,227 @@
+//! A small zoo of batch-parametric demo models.
+//!
+//! These mirror the oracle harness's five-net suite as *factories* over
+//! the batch size (identical layer seeds at every batch, so parameters
+//! are batch-invariant and every micro-batch size shares one plan-cache
+//! fingerprint). They exist so the network front-end has something real
+//! to serve out of the box: the `latte-served` binary, the serving
+//! bench, and the integration tests all register models from here, and
+//! the in-process test suite compares served samples bit-for-bit
+//! against a plain batch-1 executor of the same factory.
+
+use latte_core::dsl::Net;
+use latte_core::OptLevel;
+use latte_nn::layers::{
+    convolution, data, fully_connected, max_pool, relu, sigmoid, softmax_loss, tanh, ConvSpec,
+};
+use latte_nn::rnn::lstm;
+
+use crate::loadgen::splitmix64;
+use crate::model::{Model, NetFactory};
+use crate::server::Request;
+
+/// Time steps the demo LSTM is unrolled for.
+pub const LSTM_STEPS: usize = 2;
+
+/// The five demo nets, by name.
+pub const NETS: [&str; 5] = ["fc", "conv", "fusion", "classifier", "lstm"];
+
+fn fc_factory(batch: usize) -> Net {
+    let mut net = Net::new(batch);
+    let x = data(&mut net, "data", vec![5]);
+    let fc1 = fully_connected(&mut net, "fc1", x, 8, 7);
+    let a1 = tanh(&mut net, "a1", fc1);
+    let fc2 = fully_connected(&mut net, "fc2", a1, 6, 8);
+    let a2 = sigmoid(&mut net, "a2", fc2);
+    let head = fully_connected(&mut net, "head", a2, 4, 9);
+    let label = data(&mut net, "label", vec![1]);
+    softmax_loss(&mut net, "loss", head, label);
+    net
+}
+
+fn conv_factory(batch: usize) -> Net {
+    let mut net = Net::new(batch);
+    let x = data(&mut net, "data", vec![5, 5, 2]);
+    let conv = convolution(&mut net, "conv", x, ConvSpec::same(3, 3), 11);
+    let head = fully_connected(&mut net, "head", conv, 3, 12);
+    let label = data(&mut net, "label", vec![1]);
+    softmax_loss(&mut net, "loss", head, label);
+    net
+}
+
+fn fusion_factory(batch: usize) -> Net {
+    let mut net = Net::new(batch);
+    let x = data(&mut net, "data", vec![6, 6, 1]);
+    let conv = convolution(&mut net, "conv", x, ConvSpec::same(2, 3), 13);
+    let act = relu(&mut net, "act", conv);
+    let pool = max_pool(&mut net, "pool", act, 2, 2);
+    let head = fully_connected(&mut net, "head", pool, 3, 14);
+    let label = data(&mut net, "label", vec![1]);
+    softmax_loss(&mut net, "loss", head, label);
+    net
+}
+
+fn classifier_factory(batch: usize) -> Net {
+    let mut net = Net::new(batch);
+    let x = data(&mut net, "data", vec![7]);
+    let fc1 = fully_connected(&mut net, "fc1", x, 10, 15);
+    let a1 = relu(&mut net, "a1", fc1);
+    let fc2 = fully_connected(&mut net, "fc2", a1, 8, 16);
+    let a2 = sigmoid(&mut net, "a2", fc2);
+    let head = fully_connected(&mut net, "head", a2, 5, 17);
+    let label = data(&mut net, "label", vec![1]);
+    softmax_loss(&mut net, "loss", head, label);
+    net
+}
+
+fn lstm_factory(batch: usize) -> Net {
+    let mut step_net = Net::new(batch);
+    let x = data(&mut step_net, "x", vec![3]);
+    lstm(&mut step_net, "lstm", x, 4, 19);
+    let mut net = step_net.unroll(LSTM_STEPS);
+    let final_h = net
+        .find(&format!("lstm_h@t{}", LSTM_STEPS - 1))
+        .expect("unrolled LSTM output missing");
+    let head = fully_connected(&mut net, "head", final_h, 3, 20);
+    let label = data(&mut net, "label", vec![1]);
+    softmax_loss(&mut net, "loss", head, label);
+    net
+}
+
+/// The batch-parametric factory for a named demo net.
+///
+/// # Panics
+///
+/// On a name outside [`NETS`].
+pub fn factory(name: &str) -> NetFactory {
+    match name {
+        "fc" => Box::new(fc_factory),
+        "conv" => Box::new(conv_factory),
+        "fusion" => Box::new(fusion_factory),
+        "classifier" => Box::new(classifier_factory),
+        "lstm" => Box::new(lstm_factory),
+        other => panic!("unknown demo net `{other}`"),
+    }
+}
+
+/// Per-item `(ensemble, len)` input signature of a named demo net.
+///
+/// # Panics
+///
+/// On a name outside [`NETS`].
+pub fn input_signature(name: &str) -> Vec<(String, usize)> {
+    let mut sig = match name {
+        "fc" => vec![("data".to_string(), 5)],
+        "conv" => vec![("data".to_string(), 50)],
+        "fusion" => vec![("data".to_string(), 36)],
+        "classifier" => vec![("data".to_string(), 7)],
+        "lstm" => {
+            // The unrolled LSTM also exposes its zero-filled initial
+            // recurrent states as data ensembles.
+            let mut sig: Vec<(String, usize)> =
+                (0..LSTM_STEPS).map(|t| (format!("x@t{t}"), 3)).collect();
+            sig.push(("lstm_h@init".to_string(), 4));
+            sig.push(("lstm_cell@init".to_string(), 4));
+            sig
+        }
+        other => panic!("unknown demo net `{other}`"),
+    };
+    sig.push(("label".to_string(), 1));
+    sig
+}
+
+/// Output classes of a named demo net's head.
+///
+/// # Panics
+///
+/// On a name outside [`NETS`].
+pub fn classes(name: &str) -> usize {
+    match name {
+        "fc" => 4,
+        "conv" | "fusion" | "lstm" => 3,
+        "classifier" => 5,
+        other => panic!("unknown demo net `{other}`"),
+    }
+}
+
+/// Registers the named demo net as a served [`Model`] (full
+/// optimization, `head.value` output).
+///
+/// # Errors
+///
+/// [`crate::ServeError::Compile`] if the probe compile fails — it never
+/// does for the nets in [`NETS`].
+pub fn model(name: &str) -> Result<Model, crate::ServeError> {
+    Model::new(
+        name,
+        factory(name),
+        OptLevel::full(),
+        vec!["head.value".to_string()],
+    )
+}
+
+/// One deterministic single-sample request for the named demo net,
+/// fully determined by `(name, seed)` — no external RNG, so binaries
+/// and benches produce identical request streams run to run.
+///
+/// # Panics
+///
+/// On a name outside [`NETS`].
+pub fn sample(name: &str, seed: u64) -> Request {
+    let mut state = seed ^ 0x6c61_7474_655f_7a6f; // "latte_zo"
+    let inputs = input_signature(name)
+        .into_iter()
+        .map(|(ensemble, len)| {
+            let values: Vec<f32> = if ensemble == "label" {
+                vec![(splitmix64(&mut state) as usize % classes(name)) as f32]
+            } else if ensemble.ends_with("@init") {
+                // Zero initial recurrent state, matching the paper's
+                // unrolling semantics.
+                vec![0.0; len]
+            } else {
+                (0..len)
+                    .map(|_| {
+                        // A uniform draw in (-1, 1).
+                        let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                        (2.0 * u - 1.0) as f32
+                    })
+                    .collect()
+            };
+            (ensemble, values)
+        })
+        .collect();
+    Request { inputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_zoo_model_registers_and_matches_its_signature() {
+        for name in NETS {
+            let m = model(name).expect("zoo model registers");
+            // Request validation is order-insensitive, so compare the
+            // signatures as sets.
+            let mut probed = m.inputs().to_vec();
+            let mut listed = input_signature(name);
+            probed.sort();
+            listed.sort();
+            assert_eq!(probed, listed, "{name}");
+            let req = sample(name, 7);
+            m.validate(&req.inputs).expect("zoo sample validates");
+        }
+    }
+
+    #[test]
+    fn samples_are_deterministic_in_the_seed() {
+        for name in NETS {
+            assert_eq!(sample(name, 3), sample(name, 3), "{name}");
+            assert_ne!(
+                sample(name, 3),
+                sample(name, 4),
+                "{name} sample ignores its seed"
+            );
+        }
+    }
+}

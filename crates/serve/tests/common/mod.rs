@@ -1,147 +1,27 @@
-//! Batch-parametric mirrors of the oracle harness's five-net suite.
+//! Shared helpers for the serving test suite.
 //!
-//! The oracle builders fix their batch size; serving needs the same
-//! architectures as *factories* over the batch (identical layer seeds,
-//! so parameters are batch-invariant). Each factory paired with a
-//! seeded per-sample input generator and a plain batch-1 executor
-//! reference lets every test compare a served sample bit-for-bit
-//! against the same sample run alone.
+//! The five batch-parametric test nets now live in [`latte_serve::zoo`]
+//! (the binary and bench serve them too); this module re-exports them
+//! and adds the test-only pieces: a seeded request generator and the
+//! plain batch-1 executor oracle every served sample is compared
+//! bit-for-bit against.
 
 #![allow(dead_code)]
 
-use latte_core::dsl::Net;
-use latte_core::OptLevel;
-use latte_nn::layers::{
-    convolution, data, fully_connected, max_pool, relu, sigmoid, softmax_loss, tanh, ConvSpec,
-};
-use latte_nn::rnn::lstm;
+use latte_core::{compile, OptLevel};
 use latte_runtime::Executor;
-use latte_serve::{Model, NetFactory, Request};
+use latte_serve::Request;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Time steps the served LSTM is unrolled for.
-pub const LSTM_STEPS: usize = 2;
+// Each test binary uses its own subset of these.
+#[allow(unused_imports)]
+pub use latte_serve::zoo::{classes, factory, input_signature, LSTM_STEPS, NETS};
 
-/// The five serving test nets.
-pub const NETS: [&str; 5] = ["fc", "conv", "fusion", "classifier", "lstm"];
-
-fn fc_factory(batch: usize) -> Net {
-    let mut net = Net::new(batch);
-    let x = data(&mut net, "data", vec![5]);
-    let fc1 = fully_connected(&mut net, "fc1", x, 8, 7);
-    let a1 = tanh(&mut net, "a1", fc1);
-    let fc2 = fully_connected(&mut net, "fc2", a1, 6, 8);
-    let a2 = sigmoid(&mut net, "a2", fc2);
-    let head = fully_connected(&mut net, "head", a2, 4, 9);
-    let label = data(&mut net, "label", vec![1]);
-    softmax_loss(&mut net, "loss", head, label);
-    net
-}
-
-fn conv_factory(batch: usize) -> Net {
-    let mut net = Net::new(batch);
-    let x = data(&mut net, "data", vec![5, 5, 2]);
-    let conv = convolution(&mut net, "conv", x, ConvSpec::same(3, 3), 11);
-    let head = fully_connected(&mut net, "head", conv, 3, 12);
-    let label = data(&mut net, "label", vec![1]);
-    softmax_loss(&mut net, "loss", head, label);
-    net
-}
-
-fn fusion_factory(batch: usize) -> Net {
-    let mut net = Net::new(batch);
-    let x = data(&mut net, "data", vec![6, 6, 1]);
-    let conv = convolution(&mut net, "conv", x, ConvSpec::same(2, 3), 13);
-    let act = relu(&mut net, "act", conv);
-    let pool = max_pool(&mut net, "pool", act, 2, 2);
-    let head = fully_connected(&mut net, "head", pool, 3, 14);
-    let label = data(&mut net, "label", vec![1]);
-    softmax_loss(&mut net, "loss", head, label);
-    net
-}
-
-fn classifier_factory(batch: usize) -> Net {
-    let mut net = Net::new(batch);
-    let x = data(&mut net, "data", vec![7]);
-    let fc1 = fully_connected(&mut net, "fc1", x, 10, 15);
-    let a1 = relu(&mut net, "a1", fc1);
-    let fc2 = fully_connected(&mut net, "fc2", a1, 8, 16);
-    let a2 = sigmoid(&mut net, "a2", fc2);
-    let head = fully_connected(&mut net, "head", a2, 5, 17);
-    let label = data(&mut net, "label", vec![1]);
-    softmax_loss(&mut net, "loss", head, label);
-    net
-}
-
-fn lstm_factory(batch: usize) -> Net {
-    let mut step_net = Net::new(batch);
-    let x = data(&mut step_net, "x", vec![3]);
-    lstm(&mut step_net, "lstm", x, 4, 19);
-    let mut net = step_net.unroll(LSTM_STEPS);
-    let final_h = net
-        .find(&format!("lstm_h@t{}", LSTM_STEPS - 1))
-        .expect("unrolled LSTM output missing");
-    let head = fully_connected(&mut net, "head", final_h, 3, 20);
-    let label = data(&mut net, "label", vec![1]);
-    softmax_loss(&mut net, "loss", head, label);
-    net
-}
-
-/// The batch-parametric factory for a named test net.
-pub fn factory(name: &str) -> NetFactory {
-    match name {
-        "fc" => Box::new(fc_factory),
-        "conv" => Box::new(conv_factory),
-        "fusion" => Box::new(fusion_factory),
-        "classifier" => Box::new(classifier_factory),
-        "lstm" => Box::new(lstm_factory),
-        other => panic!("unknown test net `{other}`"),
-    }
-}
-
-/// Per-item `(ensemble, len)` input signature of a named test net.
-pub fn input_signature(name: &str) -> Vec<(String, usize)> {
-    let mut sig = match name {
-        "fc" => vec![("data".to_string(), 5)],
-        "conv" => vec![("data".to_string(), 50)],
-        "fusion" => vec![("data".to_string(), 36)],
-        "classifier" => vec![("data".to_string(), 7)],
-        "lstm" => {
-            // The unrolled LSTM also exposes its zero-filled initial
-            // recurrent states as data ensembles.
-            let mut sig: Vec<(String, usize)> =
-                (0..LSTM_STEPS).map(|t| (format!("x@t{t}"), 3)).collect();
-            sig.push(("lstm_h@init".to_string(), 4));
-            sig.push(("lstm_cell@init".to_string(), 4));
-            sig
-        }
-        other => panic!("unknown test net `{other}`"),
-    };
-    sig.push(("label".to_string(), 1));
-    sig
-}
-
-/// Output classes of a named test net's head.
-pub fn classes(name: &str) -> usize {
-    match name {
-        "fc" => 4,
-        "conv" | "fusion" | "lstm" => 3,
-        "classifier" => 5,
-        other => panic!("unknown test net `{other}`"),
-    }
-}
-
-/// Registers the named test net as a served [`Model`] (full
-/// optimization, `head.value` output).
-pub fn model(name: &str) -> Model {
-    Model::new(
-        name,
-        factory(name),
-        OptLevel::full(),
-        vec!["head.value".to_string()],
-    )
-    .expect("model registration")
+/// Registers the named test net as a served [`latte_serve::Model`]
+/// (full optimization, `head.value` output).
+pub fn model(name: &str) -> latte_serve::Model {
+    latte_serve::zoo::model(name).expect("model registration")
 }
 
 /// One deterministic single-sample request for the named net.
@@ -169,8 +49,7 @@ pub fn sample(name: &str, seed: u64) -> Request {
 /// plain batch-1 [`Executor`], returning `head.value`.
 pub fn reference(name: &str, req: &Request) -> Vec<f32> {
     let net = factory(name)(1);
-    let compiled =
-        latte_core::compile(&net, &OptLevel::full()).expect("reference compile");
+    let compiled = compile(&net, &OptLevel::full()).expect("reference compile");
     let mut exec = Executor::new(compiled).expect("reference executor");
     for (ensemble, values) in &req.inputs {
         exec.set_input(ensemble, values).expect("reference input");

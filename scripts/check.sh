@@ -33,6 +33,9 @@ LATTE_THREADS=4 cargo test --workspace -q
 echo "==> distributed training over loopback TCP (4 real processes)"
 cargo test --release --test distributed -q
 
+echo "==> serving over loopback TCP (framed protocol, adversaries, SIGTERM drain; incl. chaos soak)"
+LATTE_FAULT_SWEEP=1 cargo test --release -p latte-serve --test net_loopback -q
+
 echo "==> throughput bench smoke + artifact schema validation"
 cargo run --release --quiet -p latte-bench --bin throughput -- --smoke --out target/BENCH_smoke.json
 cargo run --release --quiet -p latte-bench --bin throughput -- --validate target/BENCH_smoke.json
