@@ -11,6 +11,14 @@
 //! batches hit the `(fingerprint, batch)` plan cache instead of the
 //! compiler.
 //!
+//! The `dynshape` scenario extends the guarantee to dynamic shapes: a
+//! mixed-length sequence stream routed through a [`SeqServer`]'s
+//! power-of-two bucket ladder. After warming every `(bucket, batch)`
+//! pair, the scenario *asserts* zero recompiles — odd lengths pad into
+//! a warm bucket (counted as `buckets.spills`) instead of reaching the
+//! compiler — and records the trace-cache hit/miss/eviction counters
+//! alongside the per-bucket routing histogram.
+//!
 //! Flags: `--smoke` (short schedules, CI-fast), `--out <path>` (default
 //! `BENCH_serving.json`), `--validate <path>` (parse an existing
 //! artifact, check its schema, and exit — the CI bench-smoke step).
@@ -24,8 +32,8 @@ use latte_core::OptLevel;
 use latte_nn::layers::{data, fully_connected, relu, softmax_loss, tanh};
 use latte_serve::net::run_adversary;
 use latte_serve::{
-    loadgen, Arrival, Client, Misbehavior, Model, NetConfig, NetError, NetFrontend, Request,
-    ServeConfig, Server, ServeError,
+    loadgen, zoo, Arrival, Client, Misbehavior, Model, NetConfig, NetError, NetFrontend, Request,
+    SeqServer, ServeConfig, Server, ServeError,
 };
 
 struct Args {
@@ -194,10 +202,159 @@ fn scenario(name: &str, arrival: &Arrival, n: usize, seed: u64, cfg: ServeConfig
             Json::obj([
                 ("hits", Json::Num(cache.hits() as f64)),
                 ("misses", Json::Num(cache.misses() as f64)),
+                ("evictions", Json::Num(cache.evictions() as f64)),
                 (
                     "recompiles_after_warmup",
                     Json::Num(recompiles_after_warmup as f64),
                 ),
+            ]),
+        ),
+    ])
+}
+
+/// Longest sequence the dynshape scenario serves (buckets 1, 2, 4, 8).
+const SEQ_MAX_LEN: usize = 8;
+
+/// splitmix64, for the dynshape scenario's seeded length stream.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The dynamic-shape scenario: a mixed-length sequence stream against a
+/// [`SeqServer`] bucket ladder. Every `(bucket, micro-batch)` pair is
+/// warmed first; the steady-state stream then draws lengths uniformly
+/// from `1..=SEQ_MAX_LEN`, so most requests pad ("spill") into a larger
+/// bucket — and **none** of them may reach the compiler. The zero-
+/// recompile claim is asserted, not just reported.
+fn dynshape_scenario(name: &str, arrival: &Arrival, n: usize, seed: u64, cfg: ServeConfig) -> Json {
+    let server = SeqServer::start(
+        zoo::seq_model(SEQ_MAX_LEN).expect("seq model registration"),
+        cfg,
+    );
+    let ladder: Vec<usize> = server.model().buckets().to_vec();
+
+    // Warm every (bucket, batch) pair with exact-length (spill-free)
+    // traffic, mirroring the fixed-shape warmup.
+    for &bucket in &ladder {
+        for size in 1..=cfg.max_batch {
+            let tickets: Vec<_> = (0..size)
+                .map(|i| {
+                    server
+                        .submit(&zoo::seq_sample(bucket, warm_seed(size, i)))
+                        .expect("warmup submit")
+                })
+                .collect();
+            server.flush();
+            for t in tickets {
+                t.wait_timeout(Duration::from_secs(60)).expect("warmup response");
+            }
+        }
+    }
+    let warm_misses = server.cache().misses();
+    let warm_spills = server.bucket_spills();
+    assert_eq!(warm_spills, 0, "exact-length warmup must not spill");
+
+    let offsets = loadgen::schedule(arrival, n, seed);
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(n);
+    let mut rejected = 0u64;
+    let mut state = seed ^ 0xd15b_a7c4_ed5e_11e5;
+    for &off in offsets.iter() {
+        let now = start.elapsed();
+        if off > now {
+            std::thread::sleep(off - now);
+        }
+        let len = (mix(&mut state) as usize % SEQ_MAX_LEN) + 1;
+        let req_seed = mix(&mut state);
+        match server.submit(&zoo::seq_sample(len, req_seed)) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("{name}: submit failed: {e}"),
+        }
+    }
+    server.flush();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(tickets.len());
+    for t in tickets {
+        let resp = t.wait_timeout(Duration::from_secs(120)).expect("response");
+        latencies.push(resp.meta.latency);
+    }
+    let makespan = start.elapsed().as_secs_f64();
+    latencies.sort();
+
+    let stats = server.stats();
+    let cache = server.cache();
+    let recompiles_after_warmup = cache.misses() - warm_misses;
+    assert_eq!(
+        recompiles_after_warmup, 0,
+        "a warm bucket ladder must never recompile for a mixed-length stream"
+    );
+    let completed = latencies.len() as u64;
+    let qps = completed as f64 / makespan;
+    let p50 = percentile_ms(&latencies, 50.0);
+    let p99 = percentile_ms(&latencies, 99.0);
+    let warm_batches = (ladder.len() * cfg.max_batch) as u64;
+    let run_batches = stats.batches - warm_batches;
+    let mean_batch = if run_batches > 0 {
+        completed as f64 / run_batches as f64
+    } else {
+        0.0
+    };
+    let spills = server.bucket_spills();
+    let routed = server.routed();
+
+    println!(
+        "{name}: {completed}/{n} ok, {rejected} rejected, p50 {p50:.3} ms, p99 {p99:.3} ms, \
+         {qps:.0} QPS, mean batch {mean_batch:.2}, {spills} bucket spills over ladder {ladder:?}, \
+         recompiles after warmup {recompiles_after_warmup}"
+    );
+
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("requests", Json::Num(n as f64)),
+        ("seed", Json::Num(seed as f64)),
+        ("p50_ms", Json::Num(p50)),
+        ("p99_ms", Json::Num(p99)),
+        ("sustained_qps", Json::Num(qps)),
+        ("completed", Json::Num(completed as f64)),
+        ("rejected", Json::Num(rejected as f64)),
+        ("batches", Json::Num(run_batches as f64)),
+        ("mean_batch", Json::Num(mean_batch)),
+        (
+            "flush",
+            Json::obj([
+                ("size", Json::Num(stats.flush_size as f64)),
+                ("deadline", Json::Num(stats.flush_deadline as f64)),
+                ("drain", Json::Num(stats.flush_drain as f64)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::Num(cache.hits() as f64)),
+                ("misses", Json::Num(cache.misses() as f64)),
+                ("evictions", Json::Num(cache.evictions() as f64)),
+                (
+                    "recompiles_after_warmup",
+                    Json::Num(recompiles_after_warmup as f64),
+                ),
+            ]),
+        ),
+        (
+            "buckets",
+            Json::obj([
+                (
+                    "ladder",
+                    Json::Arr(ladder.iter().map(|&b| Json::Num(b as f64)).collect()),
+                ),
+                (
+                    "routed",
+                    Json::Arr(routed.iter().map(|&r| Json::Num(r as f64)).collect()),
+                ),
+                ("spills", Json::Num(spills as f64)),
             ]),
         ),
     ])
@@ -277,14 +434,18 @@ fn tcp_scenario(name: &str, n: usize, seed: u64, cfg: ServeConfig) -> Json {
         .collect();
 
     // A client that submits work and hangs up without reading the
-    // reply: the late delivery must be dropped and counted, never
-    // block a writer thread.
+    // replies: the late deliveries must be dropped and counted, never
+    // block a writer thread. Several abandoned replies, because the
+    // first write onto the dead socket can still succeed (the RST it
+    // provokes lands just after); a later one reliably fails.
     {
         let mut quitter = Client::connect(addr, PATIENCE).expect("quitter connect");
-        let req = request(seed ^ 0x71);
-        quitter
-            .send_request(0, req.inputs, None)
-            .expect("quitter send");
+        for i in 0..4u64 {
+            let req = request(seed ^ (0x71 + i));
+            quitter
+                .send_request(i, req.inputs, None)
+                .expect("quitter send");
+        }
         drop(quitter);
     }
 
@@ -383,6 +544,7 @@ fn tcp_scenario(name: &str, n: usize, seed: u64, cfg: ServeConfig) -> Json {
             Json::obj([
                 ("hits", Json::Num(cache.hits() as f64)),
                 ("misses", Json::Num(cache.misses() as f64)),
+                ("evictions", Json::Num(cache.evictions() as f64)),
                 (
                     "recompiles_after_warmup",
                     Json::Num(recompiles_after_warmup as f64),
@@ -418,7 +580,7 @@ fn validate_doc(doc: &Json) -> Vec<String> {
     match doc.get("scenarios").and_then(Json::as_arr) {
         None => errs.push("`scenarios` must be an array".into()),
         Some(entries) => {
-            for want in ["steady", "bursty", "tcp"] {
+            for want in ["steady", "bursty", "tcp", "dynshape"] {
                 if !entries
                     .iter()
                     .any(|e| e.get("name").and_then(Json::as_str) == Some(want))
@@ -449,9 +611,31 @@ fn validate_doc(doc: &Json) -> Vec<String> {
                         errs.push(format!("scenarios[{i}].flush.{key} missing or not a number"));
                     }
                 }
-                for key in ["hits", "misses", "recompiles_after_warmup"] {
+                for key in ["hits", "misses", "evictions", "recompiles_after_warmup"] {
                     if e.get("cache").and_then(|c| c.get(key)).and_then(Json::as_num).is_none() {
                         errs.push(format!("scenarios[{i}].cache.{key} missing or not a number"));
+                    }
+                }
+                if e.get("name").and_then(Json::as_str) == Some("dynshape") {
+                    for key in ["ladder", "routed"] {
+                        if e.get("buckets").and_then(|b| b.get(key)).and_then(Json::as_arr).is_none()
+                        {
+                            errs.push(format!("scenarios[{i}].buckets.{key} missing or not an array"));
+                        }
+                    }
+                    if e.get("buckets").and_then(|b| b.get("spills")).and_then(Json::as_num).is_none()
+                    {
+                        errs.push(format!("scenarios[{i}].buckets.spills missing or not a number"));
+                    }
+                    if e.get("cache")
+                        .and_then(|c| c.get("recompiles_after_warmup"))
+                        .and_then(Json::as_num)
+                        != Some(0.0)
+                    {
+                        errs.push(format!(
+                            "scenarios[{i}].cache.recompiles_after_warmup must be 0: a warm \
+                             bucket ladder never recompiles"
+                        ));
                     }
                 }
                 if e.get("name").and_then(Json::as_str) == Some("tcp") {
@@ -536,6 +720,7 @@ fn main() {
             cfg,
         ),
         tcp_scenario("tcp", n, 19, cfg),
+        dynshape_scenario("dynshape", &Arrival::Steady { rps: 1500.0 }, n, 23, cfg),
     ];
 
     let doc = Json::obj([

@@ -16,7 +16,7 @@ use crate::synth::{synthesize, SynthOptions};
 /// Figure-13 per-optimization sweep can be reproduced. [`OptLevel::full`]
 /// is the default production configuration; [`OptLevel::none`] yields the
 /// naively synthesized program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptLevel {
     /// Replace multiply-accumulate nests with GEMM library calls.
     pub pattern_match: bool,

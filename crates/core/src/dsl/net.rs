@@ -50,7 +50,7 @@ pub struct Connection {
 /// assert_eq!(net.batch(), 8);
 /// assert_eq!(net.topo_order().unwrap().len(), 2);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Net {
     batch: usize,
     ensembles: Vec<Ensemble>,

@@ -45,11 +45,13 @@ pub mod opt;
 pub mod pass;
 mod program;
 pub mod synth;
+pub mod trace;
 
 pub use compile::{compile, compile_with, OptLevel};
 pub use error::CompileError;
 pub use pass::{Pass, PassContext, PassManager, PipelineState};
 pub use program::{
     CompileStats, CompiledNet, Group, GroupMeta, InputBinding, ParamBinding, PassStat, Phase,
-    Upstream,
+    StepShare, Upstream,
 };
+pub use trace::{structure_hash, Trace, TraceKey, TraceSession};

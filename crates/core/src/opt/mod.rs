@@ -5,6 +5,8 @@ mod pattern;
 #[cfg(any(test, feature = "sabotage"))]
 pub mod sabotage;
 mod schedule;
+mod stepshare;
 
 pub use pattern::pattern_match;
 pub use schedule::{fuse_chains, parallelize, tile_and_fuse, tile_untiled, ScheduleStats};
+pub use stepshare::{share_steps, ShareStats};

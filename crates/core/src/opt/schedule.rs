@@ -264,6 +264,7 @@ fn fuse_chain(
     let meta = crate::program::GroupMeta {
         dim0_extent: chain.last().unwrap().meta.dim0_extent,
         upstream: chain[0].meta.upstream.clone(),
+        share_body_with: None,
     };
     Ok(Group {
         name: format!("{name}.{}", phase_suffix(phase)),
@@ -380,6 +381,7 @@ mod tests {
             meta: GroupMeta {
                 dim0_extent: Some(extent),
                 upstream,
+                share_body_with: None,
             },
         }
     }
@@ -555,6 +557,7 @@ mod tests {
             meta: GroupMeta {
                 dim0_extent: Some(8),
                 upstream: None,
+                share_body_with: None,
             },
         };
         let (out, stats) = tile_and_fuse(vec![g], true, false, None);

@@ -13,6 +13,21 @@ pub enum Phase {
     Backward,
 }
 
+/// A step-sharing annotation: this group's statements are identical to
+/// the named group's under the buffer rename `@t{j}` → `@t{j + delta}`
+/// (unrolled recurrent time steps are clones of one another). Lowering
+/// may compile the named group once and rebind its buffers through the
+/// rename instead of re-lowering each step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepShare {
+    /// Name of the group whose compiled body can be reused.
+    pub group: String,
+    /// Time-step offset applied to every `@t{j}` buffer name when
+    /// rebinding (may be negative: backward groups run latest-step
+    /// first).
+    pub delta: i64,
+}
+
 /// Fusion/tiling metadata of a group, derived from the connection
 /// structure during synthesis.
 #[derive(Debug, Clone, Default)]
@@ -26,6 +41,9 @@ pub struct GroupMeta {
     /// group's ensemble has exactly one non-recurrent connection with
     /// affine dim-0 structure. `halo == 0` is the fusion precondition.
     pub upstream: Option<Upstream>,
+    /// Set by the step-share pass when this group is an α-equivalent
+    /// clone of an earlier unrolled time step.
+    pub share_body_with: Option<StepShare>,
 }
 
 /// Producer relation used by the fusion pass.
@@ -167,6 +185,13 @@ pub struct CompileStats {
     /// pass annotated the group's loops for the worker pool's static
     /// interleaved schedule. Makes bench output self-describing.
     pub group_parallel: Vec<(String, bool)>,
+    /// Unrolled time-step groups marked α-equivalent to an earlier step
+    /// by the step-share pass (lowering reuses one compiled body for
+    /// each).
+    pub step_groups_shared: usize,
+    /// IR statements in shared step groups — the duplicate-IR delta the
+    /// lowering no longer has to re-compile.
+    pub step_stmts_deduped: usize,
 }
 
 /// A compiled network: the runtime's entire input.

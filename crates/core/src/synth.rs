@@ -727,6 +727,7 @@ fn group_meta(ctx: &EnsCtx<'_>) -> GroupMeta {
     GroupMeta {
         dim0_extent: if tileable { Some(dims[0]) } else { None },
         upstream,
+        share_body_with: None,
     }
 }
 
@@ -1025,6 +1026,7 @@ fn synth_concat(
     let meta = GroupMeta {
         dim0_extent: if rank >= 2 { Some(dims[0]) } else { None },
         upstream: None,
+        share_body_with: None,
     };
     out.forward.push(Group {
         name: format!("{name}.fwd"),

@@ -31,3 +31,4 @@
 pub mod layers;
 pub mod models;
 pub mod rnn;
+pub mod varlen;

@@ -220,6 +220,33 @@ impl Interpreter {
         Ok(())
     }
 
+    /// Number of forward groups (one per synthesized ensemble-phase).
+    pub fn forward_groups(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Runs a single forward group by index — the stepping primitive of
+    /// eager trace execution (each group is one recorded op's compute).
+    ///
+    /// # Errors
+    ///
+    /// See [`Interpreter::forward`]; also fails when `index` is out of
+    /// range.
+    pub fn run_forward_group(&mut self, index: usize) -> Result<(), RuntimeError> {
+        if index >= self.forward.len() {
+            return Err(RuntimeError::Malformed {
+                detail: format!(
+                    "forward group {index} out of range ({} groups)",
+                    self.forward.len()
+                ),
+            });
+        }
+        let groups = std::mem::take(&mut self.forward);
+        let result = self.run_groups(std::slice::from_ref(&groups[index]));
+        self.forward = groups;
+        result
+    }
+
     /// Runs forward propagation for the current batch.
     ///
     /// # Errors

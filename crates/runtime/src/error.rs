@@ -94,6 +94,13 @@ pub enum RuntimeError {
         /// Why the contents are unavailable.
         detail: String,
     },
+    /// Compiling a traced network on a [`TraceCache`](crate::TraceCache)
+    /// miss failed — the recorded net does not pass the compiler (cycle,
+    /// verification failure, …).
+    Compile {
+        /// The compiler's error, rendered.
+        detail: String,
+    },
 }
 
 impl RuntimeError {
@@ -156,6 +163,7 @@ impl PartialEq for RuntimeError {
                 BufferRetired { name: a, detail: da },
                 BufferRetired { name: b, detail: db },
             ) => a == b && da == db,
+            (Compile { detail: a }, Compile { detail: b }) => a == b,
             _ => false,
         }
     }
@@ -198,6 +206,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::BufferRetired { name, detail } => {
                 write!(f, "buffer `{name}` is not materialized: {detail}")
+            }
+            RuntimeError::Compile { detail } => {
+                write!(f, "trace compilation failed: {detail}")
             }
         }
     }

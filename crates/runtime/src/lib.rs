@@ -74,8 +74,10 @@ pub mod ring;
 pub mod solver;
 pub mod store;
 pub mod supervisor;
+pub mod trace;
 pub mod transport;
 
 pub use error::RuntimeError;
 pub use exec::{CompiledProgram, ExecConfig, Executor, GradBucket};
 pub use plan::ExecutionPlan;
+pub use trace::{TraceCache, TraceCacheStats};

@@ -406,7 +406,15 @@ pub(crate) struct CGroup {
     pub name: String,
     pub parallel: bool,
     pub bufs: Vec<BufBinding>,
+    /// Buffer name behind each `bufs` entry, kept so a step-shared clone
+    /// can rebind the table under the `@t{j}` → `@t{j+delta}` rename.
+    pub buf_names: Vec<String>,
     pub segments: Vec<Segment>,
+    /// Operand names of each `Segment::Batched`, in segment order, laid
+    /// out as the batched kernel's `[a, b, c]` (the hoist may swap the
+    /// statement's operands). Batched GEMMs address raw storage rather
+    /// than the buffer table, so rebinding needs the names directly.
+    pub gemm_names: Vec<[String; 3]>,
 }
 
 /// The fully lowered program.
@@ -415,9 +423,20 @@ pub(crate) struct Plan {
     pub forward: Vec<CGroup>,
     pub backward: Vec<CGroup>,
     pub n_slots: usize,
+    /// Groups whose compiled body was reused from an earlier unrolled
+    /// step (see [`latte_core::StepShare`]) instead of being re-lowered.
+    pub step_groups_reused: usize,
 }
 
 /// Lowers a compiled network against an allocated store.
+///
+/// Groups the step-share pass marked α-equivalent to an earlier unrolled
+/// time step reuse that step's compiled body: the buffer table is rebound
+/// through the `@t{j}` → `@t{j+delta}` rename and verified against the
+/// store, so the kernels themselves — including their bounds proofs,
+/// which depend only on per-item extents — carry over unchanged. Any
+/// mismatch (different layout, missing buffer) falls back to a fresh
+/// lowering of the group.
 pub(crate) fn lower(
     net: &CompiledNet,
     store: &BufferStore,
@@ -425,20 +444,130 @@ pub(crate) fn lower(
     vectorize: bool,
 ) -> Result<Plan, RuntimeError> {
     let mut max_slots = 1;
-    let forward = net
-        .forward
-        .iter()
-        .map(|g| lower_group(g, store, registry, vectorize, &mut max_slots))
-        .collect::<Result<Vec<_>, _>>()?;
-    let backward = net
-        .backward
-        .iter()
-        .map(|g| lower_group(g, store, registry, vectorize, &mut max_slots))
-        .collect::<Result<Vec<_>, _>>()?;
+    let mut reused = 0usize;
+    let lower_phase = |groups: &[Group],
+                           max_slots: &mut usize,
+                           reused: &mut usize|
+     -> Result<Vec<CGroup>, RuntimeError> {
+        let mut out: Vec<CGroup> = Vec::with_capacity(groups.len());
+        let mut done: HashMap<String, usize> = HashMap::new();
+        for g in groups {
+            let shared = g.meta.share_body_with.as_ref().and_then(|ss| {
+                let rep = done.get(&ss.group).map(|&i| &out[i])?;
+                reuse_group(rep, g, ss.delta, store)
+            });
+            let cg = match shared {
+                Some(cg) => {
+                    *reused += 1;
+                    cg
+                }
+                None => lower_group(g, store, registry, vectorize, max_slots)?,
+            };
+            done.insert(g.name.clone(), out.len());
+            out.push(cg);
+        }
+        Ok(out)
+    };
+    let forward = lower_phase(&net.forward, &mut max_slots, &mut reused)?;
+    let backward = lower_phase(&net.backward, &mut max_slots, &mut reused)?;
     Ok(Plan {
         forward,
         backward,
         n_slots: max_slots,
+        step_groups_reused: reused,
+    })
+}
+
+/// Rewrites every `@t<digits>` step index in a buffer name by `delta`.
+/// Returns `None` when any index would go negative; substrings like
+/// `@tile` (no digits after `@t`) pass through untouched.
+fn shift_name(name: &str, delta: i64) -> Option<String> {
+    let bytes = name.as_bytes();
+    let mut out = String::with_capacity(name.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'@' && i + 1 < bytes.len() && bytes[i + 1] == b't' {
+            let start = i + 2;
+            let mut end = start;
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+            if end > start {
+                let step: i64 = name[start..end].parse().ok()?;
+                let shifted = step + delta;
+                if shifted < 0 {
+                    return None;
+                }
+                out.push_str("@t");
+                out.push_str(&shifted.to_string());
+                i = end;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    Some(out)
+}
+
+/// Clones a representative step's compiled body for an α-equivalent later
+/// step: every buffer in the table is renamed by `delta`, re-resolved
+/// against the store, and verified to have the same per-item layout as
+/// the representative's binding. Returns `None` (caller falls back to a
+/// fresh lowering) when any buffer is missing or laid out differently.
+fn reuse_group(rep: &CGroup, group: &Group, delta: i64, store: &BufferStore) -> Option<CGroup> {
+    let mut bufs = Vec::with_capacity(rep.bufs.len());
+    let mut buf_names = Vec::with_capacity(rep.buf_names.len());
+    for (binding, name) in rep.bufs.iter().zip(&rep.buf_names) {
+        let new_name = shift_name(name, delta)?;
+        let old = store.info(name)?;
+        let new = store.info(&new_name)?;
+        if new.per_item != old.per_item
+            || new.batched != old.batched
+            || new.kind != old.kind
+            || new.shape.dims() != old.shape.dims()
+        {
+            return None;
+        }
+        bufs.push(BufBinding {
+            storage: new.storage,
+            per_item: binding.per_item,
+            batched: binding.batched,
+            param_grad: binding.param_grad,
+        });
+        buf_names.push(new_name);
+    }
+    let mut gemm_names = Vec::with_capacity(rep.gemm_names.len());
+    let mut segments = rep.segments.clone();
+    let mut next_gemm = 0usize;
+    for seg in &mut segments {
+        if let Segment::Batched(b) = seg {
+            let names = rep.gemm_names.get(next_gemm)?;
+            let mut renamed = Vec::with_capacity(3);
+            for name in names {
+                let new_name = shift_name(name, delta)?;
+                let old = store.info(name)?;
+                let new = store.info(&new_name)?;
+                if new.per_item != old.per_item || new.batched != old.batched {
+                    return None;
+                }
+                renamed.push(new_name);
+            }
+            let shifted: [String; 3] = renamed.try_into().ok()?;
+            b.a = store.info(&shifted[0])?.storage;
+            b.b = store.info(&shifted[1])?.storage;
+            b.c = store.info(&shifted[2])?.storage;
+            gemm_names.push(shifted);
+            next_gemm += 1;
+        }
+    }
+    Some(CGroup {
+        name: group.name.clone(),
+        parallel: rep.parallel,
+        bufs,
+        buf_names,
+        segments,
+        gemm_names,
     })
 }
 
@@ -450,6 +579,7 @@ struct GroupLowerer<'a> {
     /// Extent per slot (for bounds verification).
     slot_extents: Vec<usize>,
     bufs: Vec<BufBinding>,
+    buf_names: Vec<String>,
     buf_index: HashMap<String, usize>,
 }
 
@@ -467,20 +597,23 @@ fn lower_group(
         slots: HashMap::new(),
         slot_extents: Vec::new(),
         bufs: Vec::new(),
+        buf_names: Vec::new(),
         buf_index: HashMap::new(),
     };
     let mut segments: Vec<Segment> = Vec::new();
+    let mut gemm_names: Vec<[String; 3]> = Vec::new();
     let mut current: Vec<Kernel> = Vec::new();
     let parallel = group_is_parallel(group);
 
     for stmt in &group.stmts {
         // Whole-batch hoists first.
         if let Stmt::Gemm(g) = stmt {
-            if let Some(b) = lw.try_batch_gemm(g)? {
+            if let Some((b, names)) = lw.try_batch_gemm(g)? {
                 if !current.is_empty() {
                     segments.push(Segment::PerItem(std::mem::take(&mut current)));
                 }
                 segments.push(Segment::Batched(b));
+                gemm_names.push(names);
                 continue;
             }
         }
@@ -505,7 +638,9 @@ fn lower_group(
         name: group.name.clone(),
         parallel,
         bufs: lw.bufs,
+        buf_names: lw.buf_names,
         segments,
+        gemm_names,
     })
 }
 
@@ -546,6 +681,7 @@ impl GroupLowerer<'_> {
             param_grad: matches!(info.kind, latte_ir::BufferKind::ParamGrad),
         };
         self.bufs.push(binding);
+        self.buf_names.push(name.to_string());
         let i = self.bufs.len() - 1;
         self.buf_index.insert(name.to_string(), i);
         Ok(i)
@@ -778,7 +914,13 @@ impl GroupLowerer<'_> {
     /// Recognizes the three whole-batch GEMM forms (fully-connected
     /// forward, backward-data, backward-weights) and hoists them out of
     /// the per-item loop.
-    fn try_batch_gemm(&mut self, g: &GemmStmt) -> Result<Option<BatchedGemm>, RuntimeError> {
+    /// On success also returns the operand buffer names in the batched
+    /// kernel's `[a, b, c]` order (the hoist may swap the statement's
+    /// operands), for the step-share rebinding in [`reuse_group`].
+    fn try_batch_gemm(
+        &mut self,
+        g: &GemmStmt,
+    ) -> Result<Option<(BatchedGemm, [String; 3])>, RuntimeError> {
         if !(g.a_off.is_constant() && g.b_off.is_constant() && g.c_off.is_constant()) {
             return Ok(None);
         }
@@ -804,19 +946,22 @@ impl GroupLowerer<'_> {
             && c_base == 0
             && !g.ta
         {
-            return Ok(Some(BatchedGemm {
-                ta: false,
-                tb: g.tb,
-                m: batch,
-                n: g.n,
-                k: g.k,
-                a,
-                a_base: 0,
-                b,
-                b_base: b_base as usize,
-                c,
-                c_base: 0,
-            }));
+            return Ok(Some((
+                BatchedGemm {
+                    ta: false,
+                    tb: g.tb,
+                    m: batch,
+                    n: g.n,
+                    k: g.k,
+                    a,
+                    a_base: 0,
+                    b,
+                    b_base: b_base as usize,
+                    c,
+                    c_base: 0,
+                },
+                [g.a.clone(), g.b.clone(), g.c.clone()],
+            )));
         }
         // FC backward-data: per-item C(Mx1) += op(A)(MxK)·B(Kx1).
         // Batched: C'(batch x M) += B'(batch x K) · op(A)ᵀ.
@@ -829,21 +974,24 @@ impl GroupLowerer<'_> {
             && b_base == 0
             && c_base == 0
         {
-            return Ok(Some(BatchedGemm {
-                ta: false,
-                // stored A is (m x k) when !ta → logical Aᵀ needs transpose;
-                // stored A is (k x m) when ta → usable directly.
-                tb: !g.ta,
-                m: batch,
-                n: g.m,
-                k: g.k,
-                a: b,
-                a_base: 0,
-                b: a,
-                b_base: a_base as usize,
-                c,
-                c_base: 0,
-            }));
+            return Ok(Some((
+                BatchedGemm {
+                    ta: false,
+                    // stored A is (m x k) when !ta → logical Aᵀ needs transpose;
+                    // stored A is (k x m) when ta → usable directly.
+                    tb: !g.ta,
+                    m: batch,
+                    n: g.m,
+                    k: g.k,
+                    a: b,
+                    a_base: 0,
+                    b: a,
+                    b_base: a_base as usize,
+                    c,
+                    c_base: 0,
+                },
+                [g.b.clone(), g.a.clone(), g.c.clone()],
+            )));
         }
         // Weight gradient (outer product): per-item C(MxN) += A(Mx1)·B(1xN)
         // with A, B batched and C shared. Batched:
@@ -858,19 +1006,22 @@ impl GroupLowerer<'_> {
             && b_base == 0
             && c_base == 0
         {
-            return Ok(Some(BatchedGemm {
-                ta: true,
-                tb: false,
-                m: g.m,
-                n: g.n,
-                k: batch,
-                a,
-                a_base: 0,
-                b,
-                b_base: 0,
-                c,
-                c_base: 0,
-            }));
+            return Ok(Some((
+                BatchedGemm {
+                    ta: true,
+                    tb: false,
+                    m: g.m,
+                    n: g.n,
+                    k: batch,
+                    a,
+                    a_base: 0,
+                    b,
+                    b_base: 0,
+                    c,
+                    c_base: 0,
+                },
+                [g.a.clone(), g.b.clone(), g.c.clone()],
+            )));
         }
         Ok(None)
     }

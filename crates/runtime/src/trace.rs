@@ -1,0 +1,366 @@
+//! The trace-keyed JIT cache: compile a recorded trace once per
+//! `(structure, shape, opt level)` and reuse the lowered program forever
+//! after.
+//!
+//! This is the runtime half of the LazyTensor-style split in
+//! [`latte_core::trace`]: eager code *records* ops into a
+//! [`TraceSession`](latte_core::TraceSession), the finished
+//! [`Trace`](latte_core::Trace) carries a canonical [`TraceKey`], and this
+//! cache maps `(TraceKey, OptLevel)` to a fully lowered
+//! [`CompiledProgram`]. The first sighting of a key pays the whole
+//! pipeline — synthesis, the nine optimization passes, kernel lowering,
+//! bounds proofs, liveness layout. Every later sighting is a hash lookup;
+//! the per-pass counters let tests assert that the second execution of
+//! any `(net, shape)` pair runs **zero** compiler passes.
+//!
+//! The cache is bounded: least-recently-used entries are evicted once
+//! `capacity` distinct keys are resident, and evictions are counted so
+//! serving metrics can observe thrash.
+//!
+//! When `LATTE_DUMP_IR=<dir>` is set, each miss also writes the final
+//! compiled program to `<dir>/<key.label()>-o<opthash>.txt` — the
+//! trace-hash-keyed counterpart of the per-pass snapshots the
+//! [`PassManager`](latte_core::PassManager) writes during compilation.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use latte_core::dsl::Net;
+use latte_core::{compile, CompiledNet, OptLevel, Trace, TraceKey};
+
+use crate::error::RuntimeError;
+use crate::exec::{CompiledProgram, ExecConfig, Executor};
+use crate::pool::WorkerPool;
+use crate::registry::KernelRegistry;
+
+/// Observable counters of a [`TraceCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Lookups served from the cache (no compilation).
+    pub hits: usize,
+    /// Lookups that compiled and lowered a new program.
+    pub misses: usize,
+    /// Entries evicted by the LRU bound.
+    pub evictions: usize,
+    /// Total *enabled* compiler passes run across all misses. Flat across
+    /// two identical lookups ⇔ the second one compiled nothing.
+    pub passes_run: usize,
+}
+
+struct Entry {
+    program: Arc<CompiledProgram>,
+    last_used: u64,
+}
+
+/// A bounded, LRU-evicting cache of lowered programs keyed by
+/// `(TraceKey, OptLevel)`.
+///
+/// # Examples
+///
+/// ```
+/// use latte_core::{OptLevel, TraceSession};
+/// use latte_core::dsl::{Ensemble, Mapping};
+/// use latte_runtime::TraceCache;
+/// use latte_tensor::{init, Tensor};
+///
+/// let record = || {
+///     let mut s = TraceSession::new(4);
+///     let d = s.add(Ensemble::data("data", vec![8]));
+///     let fc = s.add(
+///         Ensemble::new("fc1", vec![2], latte_core::dsl::stdlib::weighted_neuron())
+///             .with_field("weights", vec![false], init::xavier(vec![2, 8], 8, 0))
+///             .with_field("bias", vec![false], Tensor::zeros(vec![2, 1]))
+///             .with_param("weights", 1.0)
+///             .with_param("bias", 2.0),
+///     );
+///     s.connect(d, fc, Mapping::all_to_all(vec![8]));
+///     s.finish()
+/// };
+/// let mut cache = TraceCache::new(16);
+/// let opt = OptLevel::full();
+/// cache.get(&record(), &opt)?;           // miss: compiles
+/// cache.get(&record(), &opt)?;           // hit: no passes run
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok::<(), latte_runtime::RuntimeError>(())
+/// ```
+pub struct TraceCache {
+    capacity: usize,
+    registry: KernelRegistry,
+    cfg: ExecConfig,
+    entries: HashMap<(TraceKey, OptLevel), Entry>,
+    tick: u64,
+    stats: TraceCacheStats,
+}
+
+impl std::fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCache")
+            .field("capacity", &self.capacity)
+            .field("entries", &self.entries.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceCache {
+    /// A cache holding at most `capacity` lowered programs, using the
+    /// built-in kernel registry and default execution configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_config(capacity, KernelRegistry::with_builtins(), ExecConfig::default())
+    }
+
+    /// A cache with an explicit kernel registry and execution
+    /// configuration (both are baked into every lowered program).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_config(capacity: usize, registry: KernelRegistry, cfg: ExecConfig) -> Self {
+        assert!(capacity > 0, "trace cache capacity must be non-zero");
+        TraceCache {
+            capacity,
+            registry,
+            cfg,
+            entries: HashMap::new(),
+            tick: 0,
+            stats: TraceCacheStats::default(),
+        }
+    }
+
+    /// The maximum number of resident programs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of currently resident programs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no programs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cache's counters.
+    pub fn stats(&self) -> TraceCacheStats {
+        self.stats
+    }
+
+    /// Whether a program for `(key, opt)` is resident (does not touch
+    /// LRU state or counters).
+    pub fn contains(&self, key: &TraceKey, opt: &OptLevel) -> bool {
+        self.entries.contains_key(&(*key, *opt))
+    }
+
+    /// The lowered program for a finished trace: a cache hit returns the
+    /// resident `Arc` and runs no compiler pass; a miss compiles the
+    /// trace's recorded net, lowers it, and caches the result.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Compile`] when the recorded net fails compilation;
+    /// lowering errors pass through unchanged.
+    pub fn get(&mut self, trace: &Trace, opt: &OptLevel) -> Result<Arc<CompiledProgram>, RuntimeError> {
+        self.get_with(trace.key(), opt, || trace.net().clone())
+    }
+
+    /// Like [`TraceCache::get`], but builds the network lazily: `build`
+    /// runs only on a miss, so a hot caller never pays for graph
+    /// construction. The caller is responsible for `key` actually
+    /// describing `build()`'s output (use
+    /// [`structure_hash`](latte_core::structure_hash) / [`Trace`] when in
+    /// doubt).
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceCache::get`].
+    pub fn get_with(
+        &mut self,
+        key: TraceKey,
+        opt: &OptLevel,
+        build: impl FnOnce() -> Net,
+    ) -> Result<Arc<CompiledProgram>, RuntimeError> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(&(key, *opt)) {
+            entry.last_used = tick;
+            self.stats.hits += 1;
+            return Ok(Arc::clone(&entry.program));
+        }
+        let net = build();
+        let compiled = compile(&net, opt).map_err(|e| RuntimeError::Compile {
+            detail: e.to_string(),
+        })?;
+        self.stats.passes_run += compiled.stats.passes.iter().filter(|p| p.enabled).count();
+        dump_ir(&key, opt, &compiled);
+        let program = Arc::new(CompiledProgram::lower(compiled, &self.registry, self.cfg)?);
+        self.stats.misses += 1;
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            (key, *opt),
+            Entry {
+                program: Arc::clone(&program),
+                last_used: tick,
+            },
+        );
+        Ok(program)
+    }
+
+    /// A warm executor for a finished trace, sharing the cached plan:
+    /// compilation happens at most once per key, instantiation only
+    /// allocates buffers.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceCache::get`]; instantiation failures pass through.
+    pub fn executor(
+        &mut self,
+        trace: &Trace,
+        opt: &OptLevel,
+        pool: Arc<WorkerPool>,
+    ) -> Result<Executor, RuntimeError> {
+        self.get(trace, opt)?.instantiate(pool)
+    }
+}
+
+/// `LATTE_DUMP_IR=<dir>`: writes the final compiled program of a cache
+/// miss, named by the trace key's filesystem-safe label plus an opt-level
+/// fingerprint (distinct opt levels of one trace dump side by side).
+fn dump_ir(key: &TraceKey, opt: &OptLevel, compiled: &CompiledNet) {
+    let Some(dir) = std::env::var_os("LATTE_DUMP_IR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let mut h = DefaultHasher::new();
+    opt.hash(&mut h);
+    let name = format!("{}-o{:08x}.txt", key.label(), h.finish() as u32);
+    let mut text = String::from("== buffers ==\n");
+    for b in &compiled.buffers {
+        text.push_str(&format!("{b}\n"));
+    }
+    text.push_str(&compiled.pretty());
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(dir.join(name), text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latte_core::dsl::stdlib::weighted_neuron;
+    use latte_core::dsl::{Ensemble, Mapping};
+    use latte_core::TraceSession;
+    use latte_tensor::{init, Tensor};
+
+    fn record(batch: usize, width: usize) -> Trace {
+        let mut s = TraceSession::new(batch);
+        let d = s.add(Ensemble::data("data", vec![width]));
+        let fc = s.add(
+            Ensemble::new("fc1", vec![3], weighted_neuron())
+                .with_field("weights", vec![false], init::xavier(vec![3, width], width, 0))
+                .with_field("bias", vec![false], Tensor::zeros(vec![3, 1]))
+                .with_param("weights", 1.0)
+                .with_param("bias", 2.0),
+        );
+        s.connect(d, fc, Mapping::all_to_all(vec![width]));
+        s.finish()
+    }
+
+    #[test]
+    fn second_lookup_runs_zero_passes() {
+        let mut cache = TraceCache::new(8);
+        let opt = OptLevel::full();
+        cache.get(&record(4, 8), &opt).unwrap();
+        let after_first = cache.stats();
+        assert_eq!(after_first.misses, 1);
+        assert!(after_first.passes_run > 0);
+        let p = cache.get(&record(4, 8), &opt).unwrap();
+        let after_second = cache.stats();
+        assert_eq!(after_second.hits, 1);
+        assert_eq!(after_second.misses, 1);
+        assert_eq!(after_second.passes_run, after_first.passes_run);
+        assert_eq!(p.batch(), 4);
+    }
+
+    #[test]
+    fn distinct_shapes_and_opt_levels_miss_separately() {
+        let mut cache = TraceCache::new(8);
+        let full = OptLevel::full();
+        let none = OptLevel::none();
+        cache.get(&record(4, 8), &full).unwrap();
+        cache.get(&record(2, 8), &full).unwrap(); // new batch → miss
+        cache.get(&record(4, 8), &none).unwrap(); // new opt → miss
+        cache.get(&record(2, 8), &full).unwrap(); // hit
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits), (3, 1));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn lru_bound_evicts_and_counts() {
+        let mut cache = TraceCache::new(2);
+        let opt = OptLevel::none();
+        cache.get(&record(1, 4), &opt).unwrap();
+        cache.get(&record(2, 4), &opt).unwrap();
+        cache.get(&record(1, 4), &opt).unwrap(); // refresh batch-1
+        cache.get(&record(3, 4), &opt).unwrap(); // evicts batch-2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.contains(&record(1, 4).key(), &opt));
+        assert!(!cache.contains(&record(2, 4).key(), &opt));
+        // Re-fetching the evicted shape recompiles.
+        cache.get(&record(2, 4), &opt).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn get_with_builds_only_on_miss() {
+        let mut cache = TraceCache::new(8);
+        let opt = OptLevel::none();
+        let t = record(4, 8);
+        let key = t.key();
+        cache.get(&t, &opt).unwrap();
+        let mut built = false;
+        cache
+            .get_with(key, &opt, || {
+                built = true;
+                t.net().clone()
+            })
+            .unwrap();
+        assert!(!built, "hit must not build the network");
+    }
+
+    #[test]
+    fn compile_failure_surfaces_as_compile_error() {
+        let mut cache = TraceCache::new(8);
+        // A cyclic non-recurrent net cannot compile.
+        let mut s = TraceSession::new(1);
+        let a = s.add(Ensemble::data("a", vec![1]));
+        let b = s.add(Ensemble::activation(
+            "b",
+            vec![1],
+            latte_core::dsl::stdlib::relu_neuron(),
+        ));
+        s.connect(a, b, Mapping::one_to_one());
+        s.connect(b, b, Mapping::one_to_one());
+        let err = cache.get(&s.finish(), &OptLevel::none()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Compile { .. }), "{err}");
+    }
+}

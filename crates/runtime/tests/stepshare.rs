@@ -1,0 +1,117 @@
+//! Step-share lowering: unrolled recurrent steps marked α-equivalent by
+//! the compiler's step-share pass must reuse one compiled body, and the
+//! reused plan must be bit-identical to lowering every step from scratch.
+
+use latte_core::dsl::Net;
+use latte_core::{compile, OptLevel};
+use latte_nn::layers::{data, fully_connected, softmax_loss};
+use latte_nn::rnn::lstm;
+use latte_runtime::Executor;
+
+const STEPS: usize = 5;
+
+fn lstm_net(batch: usize) -> Net {
+    let mut step_net = Net::new(batch);
+    let x = data(&mut step_net, "x", vec![3]);
+    lstm(&mut step_net, "lstm", x, 4, 19);
+    let mut net = step_net.unroll(STEPS);
+    let final_h = net.find(&format!("lstm_h@t{}", STEPS - 1)).unwrap();
+    let head = fully_connected(&mut net, "head", final_h, 3, 20);
+    let label = data(&mut net, "label", vec![1]);
+    softmax_loss(&mut net, "loss", head, label);
+    net
+}
+
+fn seeded(len: usize, seed: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+            ((h >> 8) % 1000) as f32 / 500.0 - 1.0
+        })
+        .collect()
+}
+
+fn run(exec: &mut Executor, batch: usize) -> (f32, Vec<f32>) {
+    for t in 0..STEPS {
+        exec.set_input(&format!("x@t{t}"), &seeded(batch * 3, t as u32 + 1))
+            .unwrap();
+    }
+    exec.set_input("label", &vec![1.0; batch]).unwrap();
+    exec.forward();
+    exec.backward();
+    let h = exec
+        .read_buffer(&format!("lstm_h@t{}.value", STEPS - 1))
+        .unwrap();
+    (exec.loss(), h)
+}
+
+/// The pass marks clone steps, lowering reuses their bodies, and the
+/// reused plan computes the same bits as a scratch lowering.
+#[test]
+fn unrolled_steps_reuse_compiled_bodies() {
+    let batch = 2;
+    for opt in [OptLevel::none(), OptLevel::full()] {
+        let compiled = compile(&lstm_net(batch), &opt).unwrap();
+        assert!(
+            compiled.stats.step_groups_shared > 0,
+            "step-share pass found no clone steps ({opt:?})"
+        );
+        assert!(compiled.stats.step_stmts_deduped > 0);
+
+        // Baseline: same program with the share annotations stripped, so
+        // every group lowers from scratch.
+        let mut scratch = compiled.clone();
+        for g in scratch.forward.iter_mut().chain(scratch.backward.iter_mut()) {
+            g.meta.share_body_with = None;
+        }
+
+        let mut shared_exec = Executor::new(compiled).unwrap();
+        let mut scratch_exec = Executor::new(scratch).unwrap();
+        assert!(
+            shared_exec.plan().step_groups_reused() > 0,
+            "lowering reused no step bodies ({opt:?})"
+        );
+        assert_eq!(scratch_exec.plan().step_groups_reused(), 0);
+
+        let (loss_a, h_a) = run(&mut shared_exec, batch);
+        let (loss_b, h_b) = run(&mut scratch_exec, batch);
+        assert_eq!(loss_a.to_bits(), loss_b.to_bits(), "loss diverged ({opt:?})");
+        assert_eq!(h_a.len(), h_b.len());
+        for (i, (a, b)) in h_a.iter().zip(&h_b).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "h[{i}] diverged ({opt:?})");
+        }
+
+        // Gradients must match bit-for-bit too: the reused backward
+        // bodies accumulate into the same shared parameter gradients.
+        let mut grads_a: Vec<(String, Vec<f32>)> = Vec::new();
+        shared_exec.for_each_param_grad_mut(|name, g| grads_a.push((name.to_string(), g.to_vec())));
+        let mut grads_b: Vec<(String, Vec<f32>)> = Vec::new();
+        scratch_exec.for_each_param_grad_mut(|name, g| grads_b.push((name.to_string(), g.to_vec())));
+        assert_eq!(grads_a.len(), grads_b.len());
+        for ((na, ga), (nb, gb)) in grads_a.iter().zip(&grads_b) {
+            assert_eq!(na, nb);
+            for (x, y) in ga.iter().zip(gb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "grad {na} diverged ({opt:?})");
+            }
+        }
+    }
+}
+
+/// A step count of one has nothing to share; the counters stay zero and
+/// the program still runs.
+#[test]
+fn single_step_shares_nothing() {
+    let batch = 2;
+    let mut step_net = Net::new(batch);
+    let x = data(&mut step_net, "x", vec![3]);
+    lstm(&mut step_net, "lstm", x, 4, 19);
+    let mut net = step_net.unroll(1);
+    let final_h = net.find("lstm_h@t0").unwrap();
+    let head = fully_connected(&mut net, "head", final_h, 3, 20);
+    let label = data(&mut net, "label", vec![1]);
+    softmax_loss(&mut net, "loss", head, label);
+    let compiled = compile(&net, &OptLevel::full()).unwrap();
+    assert_eq!(compiled.stats.step_groups_shared, 0);
+    let exec = Executor::new(compiled).unwrap();
+    assert_eq!(exec.plan().step_groups_reused(), 0);
+}

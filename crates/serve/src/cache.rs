@@ -7,6 +7,15 @@
 //! never compiles again: a tail batch of size 3 hits the size-3 entry
 //! and only instantiates (fresh buffers + parameter init, no lowering).
 //! Hit/miss counters make "zero recompiles after warmup" testable.
+//!
+//! The cache is **bounded**: it holds at most `capacity` entries and
+//! evicts the least-recently-used plan when a miss would exceed the
+//! bound, so a server fed adversarial shape diversity (every request a
+//! new `(fingerprint, batch)` pair — e.g. many sequence buckets × many
+//! tail-batch sizes) degrades to recompilation instead of growing
+//! without limit. Evictions are counted; a nonzero
+//! [`PlanCache::evictions`] under a steady workload means the capacity
+//! is too small for the working set.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,42 +27,82 @@ use latte_runtime::{CompiledProgram, ExecConfig};
 use crate::error::ServeError;
 use crate::model::Model;
 
-/// A shareable cache of lowered programs, keyed by
+/// Default entry bound of [`PlanCache::new`]: generous for one model's
+/// micro-batch sizes, and still enough for a bucket ladder of sequence
+/// models times their tail batches.
+pub const DEFAULT_PLAN_CAPACITY: usize = 64;
+
+/// One cached plan plus the recency tick the LRU policy orders by.
+struct Entry {
+    program: Arc<CompiledProgram>,
+    last_used: u64,
+}
+
+/// The mutable half of the cache: entries plus the monotonically
+/// increasing recency clock.
+struct Inner {
+    entries: HashMap<(u64, usize), Entry>,
+    tick: u64,
+}
+
+/// A shareable, bounded LRU cache of lowered programs, keyed by
 /// `(CompiledNet::fingerprint(), batch)`.
 pub struct PlanCache {
     registry: KernelRegistry,
     cfg: ExecConfig,
-    entries: Mutex<HashMap<(u64, usize), Arc<CompiledProgram>>>,
+    capacity: usize,
+    inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlanCache")
             .field("entries", &self.len())
+            .field("capacity", &self.capacity)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish_non_exhaustive()
     }
 }
 
 impl PlanCache {
-    /// An empty cache lowering with the built-in kernel registry and the
-    /// given execution configuration.
+    /// An empty cache lowering with the built-in kernel registry, the
+    /// given execution configuration, and the default entry bound
+    /// ([`DEFAULT_PLAN_CAPACITY`]).
     pub fn new(cfg: ExecConfig) -> Self {
+        Self::with_capacity(cfg, DEFAULT_PLAN_CAPACITY)
+    }
+
+    /// An empty cache bounded to at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// When `capacity` is zero (a cache that can hold nothing cannot
+    /// serve plans).
+    pub fn with_capacity(cfg: ExecConfig, capacity: usize) -> Self {
+        assert!(capacity > 0, "PlanCache capacity must be nonzero");
         PlanCache {
             registry: KernelRegistry::with_builtins(),
             cfg,
-            entries: Mutex::new(HashMap::new()),
+            capacity,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// Returns the lowered program for `(model, batch)` and whether it
     /// was already cached. On a miss this compiles and lowers the
-    /// factory's net; on a hit it is a map lookup — no compilation.
+    /// factory's net (evicting the least-recently-used entry if the
+    /// cache is full); on a hit it is a map lookup — no compilation.
     ///
     /// The miss path also cross-checks the freshly compiled net's
     /// fingerprint against the model's probed fingerprint, catching
@@ -70,9 +119,15 @@ impl PlanCache {
         batch: usize,
     ) -> Result<(Arc<CompiledProgram>, bool), ServeError> {
         let key = (model.fingerprint(), batch);
-        if let Some(hit) = self.entries.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(hit), true));
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(hit) = inner.entries.get_mut(&key) {
+                hit.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(&hit.program), true));
+            }
         }
         let compiled = model.compile_batch(batch)?;
         if compiled.fingerprint() != model.fingerprint() {
@@ -91,12 +146,34 @@ impl PlanCache {
             .map_err(|e| ServeError::Compile {
                 detail: format!("{} @ batch {batch}: {e}", model.name()),
             })?;
-        let mut entries = self.entries.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
         // A concurrent miss may have raced us here; keep the first entry
         // so every holder shares one plan.
-        let entry = entries.entry(key).or_insert(program);
+        if !inner.entries.contains_key(&key) {
+            while inner.entries.len() >= self.capacity {
+                let victim = inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("a full cache has a least-recently-used entry");
+                inner.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            inner.entries.insert(
+                key,
+                Entry {
+                    program,
+                    last_used: tick,
+                },
+            );
+        }
+        let entry = inner.entries.get_mut(&key).expect("just ensured present");
+        entry.last_used = tick;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok((Arc::clone(entry), false))
+        Ok((Arc::clone(&entry.program), false))
     }
 
     /// Cache hits served so far (lookups that found an entry).
@@ -109,13 +186,99 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted to keep the cache within its capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The maximum number of entries the cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Distinct `(fingerprint, batch)` entries currently cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.inner.lock().unwrap().entries.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latte_core::dsl::Net;
+    use latte_core::OptLevel;
+    use latte_nn::layers::{data, fully_connected, softmax_loss};
+
+    fn tiny_model() -> Model {
+        Model::new(
+            "tiny",
+            Box::new(|batch| {
+                let mut net = Net::new(batch);
+                let x = data(&mut net, "data", vec![3]);
+                let head = fully_connected(&mut net, "head", x, 2, 5);
+                let label = data(&mut net, "label", vec![1]);
+                softmax_loss(&mut net, "loss", head, label);
+                net
+            }),
+            OptLevel::none(),
+            vec!["head.value".to_string()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lru_bound_evicts_and_counts() {
+        let model = tiny_model();
+        let cache = PlanCache::with_capacity(ExecConfig::default(), 2);
+        cache.get(&model, 1).unwrap(); // miss
+        cache.get(&model, 2).unwrap(); // miss
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+
+        cache.get(&model, 3).unwrap(); // miss, evicts batch-1 (LRU)
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+
+        // Batch 1 was evicted: fetching it again is a miss and evicts
+        // batch 2, the now-least-recently-used survivor.
+        let (_, hit) = cache.get(&model, 1).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.evictions(), 2);
+
+        // A hit refreshes recency: batch 3 survives the next eviction.
+        let (_, hit) = cache.get(&model, 3).unwrap();
+        assert!(hit);
+        cache.get(&model, 4).unwrap(); // evicts batch 1, not batch 3
+        let (_, hit) = cache.get(&model, 3).unwrap();
+        assert!(hit, "recently used entry was evicted");
+        assert_eq!(cache.evictions(), 3);
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn within_capacity_nothing_evicts() {
+        let model = tiny_model();
+        let cache = PlanCache::new(ExecConfig::default());
+        for batch in 1..=4 {
+            cache.get(&model, batch).unwrap();
+        }
+        for batch in 1..=4 {
+            let (_, hit) = cache.get(&model, batch).unwrap();
+            assert!(hit, "batch {batch} should be cached");
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.capacity(), DEFAULT_PLAN_CAPACITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_is_refused() {
+        let _ = PlanCache::with_capacity(ExecConfig::default(), 0);
     }
 }

@@ -18,6 +18,11 @@
 //!   keyed by `(fingerprint, batch)`, with hit/miss counters.
 //! * [`Server`] — bounded admission, dispatcher + replica threads,
 //!   crash supervision with bounded retries, per-request [`Ticket`]s.
+//! * [`SeqModel`] / [`SeqServer`] — dynamic shapes: variable-length
+//!   requests padded into a power-of-two bucket ladder (one server per
+//!   bucket over one shared, bounded plan cache), with bucket-spill
+//!   accounting — odd lengths and tail batches never recompile after
+//!   the ladder is warm.
 //! * [`net`] — the fault-hardened framed-TCP front-end: versioned
 //!   handshake, CRC-sealed frames, wire deadlines, slow-loris timeouts,
 //!   bounded reply backpressure, and graceful drain (the `latte-served`
@@ -42,6 +47,7 @@ pub mod loadgen;
 pub mod model;
 pub mod net;
 pub mod replica;
+pub mod seq;
 pub mod server;
 pub mod zoo;
 
@@ -52,6 +58,7 @@ pub use loadgen::{schedule, Arrival, Misbehavior};
 pub use model::{Model, NetFactory};
 pub use net::{Client, HealthReport, NetConfig, NetError, NetFrontend, NetReply, WireError};
 pub use replica::{BatchAction, BatchEngine, FaultHooks, NoHooks, ReplicaHooks};
+pub use seq::{Route, SeqModel, SeqNetFactory, SeqRequest, SeqServer, SeqTicket};
 pub use server::{
     GateHooks, ReplyMeta, Request, Response, ServeConfig, Server, StatsSnapshot, Ticket,
 };

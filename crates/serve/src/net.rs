@@ -963,7 +963,21 @@ fn reject_conn(mut stream: TcpStream, cfg: &NetConfig) {
             "connection limit reached",
         ),
     );
-    let _ = stream.shutdown(Shutdown::Both);
+    // Half-close, then drain what the client already sent (its Hello).
+    // Closing with unread bytes in the receive buffer turns the close
+    // into an RST, which can destroy the refusal frame before the
+    // client reads it; consuming the bytes lets the refusal ride out on
+    // a clean FIN. Bounded by the read timeout, like the write above.
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let mut sink = [0u8; 256];
+    loop {
+        match io::Read::read(&mut stream, &mut sink) {
+            Ok(0) => break,    // the client saw the refusal and closed
+            Ok(_) => continue, // discard a half-sent handshake/request
+            Err(_) => break,   // timeout or reset: stop waiting
+        }
+    }
 }
 
 /// One connection's reader: handshake, then a loop decoding frames into

@@ -15,9 +15,12 @@ use latte_nn::layers::{
     convolution, data, fully_connected, max_pool, relu, sigmoid, softmax_loss, tanh, ConvSpec,
 };
 use latte_nn::rnn::lstm;
+use latte_nn::varlen::lstm_seq;
+use std::sync::Arc;
 
 use crate::loadgen::splitmix64;
 use crate::model::{Model, NetFactory};
+use crate::seq::{SeqModel, SeqRequest};
 use crate::server::Request;
 
 /// Time steps the demo LSTM is unrolled for.
@@ -158,6 +161,62 @@ pub fn model(name: &str) -> Result<Model, crate::ServeError> {
         OptLevel::full(),
         vec!["head.value".to_string()],
     )
+}
+
+/// Per-step input width of the demo sequence LSTM.
+pub const SEQ_WIDTH: usize = 3;
+
+/// The demo variable-length LSTM as a bucket-ladder [`SeqModel`]
+/// covering lengths `1..=max_len`: the same LSTM unit and head seeds as
+/// the fixed `"lstm"` demo net, unrolled per bucket with the mask-select
+/// readout from `latte_nn::varlen`.
+///
+/// # Errors
+///
+/// [`crate::ServeError::Compile`] if any bucket's probe compile fails —
+/// it never does for this factory.
+pub fn seq_model(max_len: usize) -> Result<SeqModel, crate::ServeError> {
+    SeqModel::new(
+        "lstm-seq",
+        Arc::new(|batch, bucket| {
+            let (mut net, seq) = lstm_seq(batch, "lstm", SEQ_WIDTH, 4, bucket, 19);
+            let head = fully_connected(&mut net, "head", seq.readout, 3, 20);
+            let label = data(&mut net, "label", vec![1]);
+            softmax_loss(&mut net, "loss", head, label);
+            net
+        }),
+        OptLevel::full(),
+        max_len,
+        "x",
+        "lstm_last_mask",
+        vec!["head.value".to_string()],
+    )
+}
+
+/// One deterministic variable-length request of `len` true steps for
+/// [`seq_model`], fully determined by `(len, seed)`.
+///
+/// # Panics
+///
+/// On `len == 0`.
+pub fn seq_sample(len: usize, seed: u64) -> SeqRequest {
+    assert!(len > 0, "a sequence sample needs at least one step");
+    let mut state = seed ^ 0x6c61_7474_655f_7371; // "latte_sq"
+    let steps = (0..len)
+        .map(|_| {
+            (0..SEQ_WIDTH)
+                .map(|_| {
+                    let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                    (2.0 * u - 1.0) as f32
+                })
+                .collect()
+        })
+        .collect();
+    let label = vec![(splitmix64(&mut state) as usize % 3) as f32];
+    SeqRequest {
+        steps,
+        extra: vec![("label".to_string(), label)],
+    }
 }
 
 /// One deterministic single-sample request for the named demo net,
