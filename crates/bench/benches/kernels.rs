@@ -39,7 +39,7 @@ fn bench_gemm_blocking(c: &mut Criterion) {
     let b = vec![1.0f32; k * n];
     let mut out = vec![0.0f32; m * n];
     for (kc, nc, mc) in [(64, 128, 16), (256, 512, 64), (512, 1024, 128), (32, 64, 8)] {
-        let mut engine = Gemm::with_blocking(kc, nc, mc);
+        let mut engine = Gemm::with_blocking(kc, nc, mc).expect("aligned blocking");
         group.bench_function(
             BenchmarkId::from_parameter(format!("kc{kc}_nc{nc}_mc{mc}")),
             |bencher| {

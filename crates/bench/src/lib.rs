@@ -96,6 +96,10 @@ pub fn print_compile_stats(compiled: &CompiledNet, what: &str) {
         println!("  {}", p.render());
     }
     println!("  threads: {} (LATTE_THREADS)", ExecConfig::env_threads());
+    println!(
+        "  schedule decisions: {} parallel, {} serial",
+        compiled.stats.groups_parallel, compiled.stats.groups_serial
+    );
     for (name, parallel) in &compiled.stats.group_parallel {
         let decision = if *parallel { "parallel" } else { "serial" };
         println!("  group {name:<40} {decision}");

@@ -46,8 +46,9 @@ pub mod pass;
 mod program;
 pub mod synth;
 pub mod trace;
+pub mod tuned;
 
-pub use compile::{compile, compile_with, OptLevel};
+pub use compile::{compile, compile_tuned, compile_with, OptLevel};
 pub use error::CompileError;
 pub use pass::{Pass, PassContext, PassManager, PipelineState};
 pub use program::{
@@ -55,3 +56,4 @@ pub use program::{
     StepShare, Upstream,
 };
 pub use trace::{structure_hash, Trace, TraceKey, TraceSession};
+pub use tuned::TunedSchedule;

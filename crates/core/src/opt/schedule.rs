@@ -19,6 +19,7 @@
 use latte_ir::{GemmDim, IndexExpr, Loop, LoopAnnot, Stmt, TileInfo};
 
 use crate::program::Group;
+use crate::tuned::TunedSchedule;
 
 /// Preferred standalone tile sizes, first divisor wins.
 const PREFERRED_TILES: [usize; 4] = [8, 4, 2, 1];
@@ -33,7 +34,8 @@ pub struct ScheduleStats {
 }
 
 /// Applies tiling and (optionally) fusion to a phase's groups.
-/// `tile_size` overrides the preferred tile when it divides the extent.
+/// `tile_size` overrides the preferred tile when it divides the extent;
+/// a [`TunedSchedule`]'s tile override wins over both.
 ///
 /// Kept as a convenience wrapper over the two pass entry points the pass
 /// manager drives separately: [`fuse_chains`] (merge producer→consumer
@@ -44,10 +46,12 @@ pub fn tile_and_fuse(
     tiling: bool,
     fusion: bool,
     tile_size: Option<usize>,
+    tuned: Option<&TunedSchedule>,
 ) -> (Vec<Group>, ScheduleStats) {
     if !tiling {
         return (groups, ScheduleStats::default());
     }
+    let tile_size = tuned.map_or(tile_size, |t| t.effective_tile(tile_size));
     let (groups, fstats) = if fusion {
         fuse_chains(groups, tile_size)
     } else {
@@ -127,10 +131,25 @@ pub fn tile_untiled(groups: Vec<Group>, tile_size: Option<usize>) -> (Vec<Group>
 }
 
 /// Marks the outer (tile) loop of each group parallel.
-pub fn parallelize(groups: &mut [Group]) {
+///
+/// Every tiled, non-barrier group is marked, with or without a
+/// [`TunedSchedule`] — the `parallel` annotation fixes the group's
+/// gradient-lane accumulation structure, which must be identical whether
+/// the group ultimately fans out or not (bit-identity). A tuned
+/// schedule's measured serial decisions
+/// ([`TunedSchedule::decide_parallel`]) land in
+/// [`GroupMeta::serial_hint`](crate::GroupMeta) instead: the runtime
+/// keeps the lane structure but drives every lane from the calling
+/// thread, skipping the pool broadcast — which is what repairs
+/// multi-thread end-to-end throughput on hosts where fan-out overhead
+/// beats the parallel win.
+pub fn parallelize(groups: &mut [Group], tuned: Option<&TunedSchedule>) {
     for g in groups.iter_mut() {
         if g.barrier {
             continue;
+        }
+        if let Some(t) = tuned {
+            g.meta.serial_hint = !t.decide_parallel(&g.name);
         }
         for stmt in g.stmts.iter_mut() {
             if let Stmt::For(l) = stmt {
@@ -265,6 +284,7 @@ fn fuse_chain(
         dim0_extent: chain.last().unwrap().meta.dim0_extent,
         upstream: chain[0].meta.upstream.clone(),
         share_body_with: None,
+        serial_hint: false,
     };
     Ok(Group {
         name: format!("{name}.{}", phase_suffix(phase)),
@@ -381,7 +401,7 @@ mod tests {
             meta: GroupMeta {
                 dim0_extent: Some(extent),
                 upstream,
-                share_body_with: None,
+                ..GroupMeta::default()
             },
         }
     }
@@ -389,7 +409,7 @@ mod tests {
     #[test]
     fn standalone_group_gets_tiled() {
         let g = elementwise_group("relu1", 16, None);
-        let (out, stats) = tile_and_fuse(vec![g], true, false, None);
+        let (out, stats) = tile_and_fuse(vec![g], true, false, None, None);
         assert_eq!(stats.groups_tiled, 1);
         assert_eq!(out.len(), 1);
         match &out[0].stmts[0] {
@@ -405,7 +425,7 @@ mod tests {
     #[test]
     fn tiling_disabled_is_identity() {
         let g = elementwise_group("relu1", 16, None);
-        let (out, stats) = tile_and_fuse(vec![g.clone()], false, false, None);
+        let (out, stats) = tile_and_fuse(vec![g.clone()], false, false, None, None);
         assert_eq!(stats.groups_tiled, 0);
         assert_eq!(out[0].stmts.len(), g.stmts.len());
     }
@@ -423,7 +443,7 @@ mod tests {
                 sole_consumer: true,
             }),
         );
-        let (out, stats) = tile_and_fuse(vec![conv, relu], true, true, None);
+        let (out, stats) = tile_and_fuse(vec![conv, relu], true, true, None, None);
         assert_eq!(stats.fusions, 1);
         assert_eq!(out.len(), 1);
         assert!(out[0].name.contains("conv1+relu1"), "{}", out[0].name);
@@ -444,7 +464,7 @@ mod tests {
                 sole_consumer: true,
             }),
         );
-        let (out, stats) = tile_and_fuse(vec![conv, pool], true, true, None);
+        let (out, stats) = tile_and_fuse(vec![conv, pool], true, true, None, None);
         assert_eq!(stats.fusions, 1);
         let tile_loop = match &out[0].stmts[0] {
             Stmt::For(l) => l,
@@ -480,7 +500,7 @@ mod tests {
                 sole_consumer: true,
             }),
         );
-        let (out, stats) = tile_and_fuse(vec![conv1, conv2], true, true, None);
+        let (out, stats) = tile_and_fuse(vec![conv1, conv2], true, true, None, None);
         assert_eq!(stats.fusions, 0);
         assert_eq!(out.len(), 2);
     }
@@ -499,7 +519,7 @@ mod tests {
             }),
         );
         b.barrier = true;
-        let (out, stats) = tile_and_fuse(vec![a, b], true, true, None);
+        let (out, stats) = tile_and_fuse(vec![a, b], true, true, None, None);
         assert_eq!(stats.fusions, 0);
         assert_eq!(out.len(), 2);
     }
@@ -521,7 +541,7 @@ mod tests {
         pool.phase = Phase::Backward;
         let mut conv = elementwise_group("conv1", 16, None);
         conv.phase = Phase::Backward;
-        let (out, stats) = tile_and_fuse(vec![pool, conv], true, true, None);
+        let (out, stats) = tile_and_fuse(vec![pool, conv], true, true, None, None);
         assert_eq!(stats.fusions, 1, "{:?}", out.iter().map(|g| &g.name).collect::<Vec<_>>());
     }
 
@@ -556,11 +576,10 @@ mod tests {
             barrier: false,
             meta: GroupMeta {
                 dim0_extent: Some(8),
-                upstream: None,
-                share_body_with: None,
+                ..GroupMeta::default()
             },
         };
-        let (out, stats) = tile_and_fuse(vec![g], true, false, None);
+        let (out, stats) = tile_and_fuse(vec![g], true, false, None, None);
         assert_eq!(stats.groups_tiled, 1);
         let tile_loop = match &out[0].stmts[0] {
             Stmt::For(l) => l,
@@ -580,11 +599,55 @@ mod tests {
     #[test]
     fn parallelize_marks_tile_loops() {
         let g = elementwise_group("relu1", 16, None);
-        let (mut out, _) = tile_and_fuse(vec![g], true, false, None);
-        parallelize(&mut out);
+        let (mut out, _) = tile_and_fuse(vec![g], true, false, None, None);
+        parallelize(&mut out, None);
         match &out[0].stmts[0] {
             Stmt::For(l) => assert!(l.annot.parallel),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn tuned_schedule_gates_parallel_marking_per_group() {
+        let fast = elementwise_group("fast", 16, None);
+        let slow = elementwise_group("slow", 16, None);
+        let (mut out, _) = tile_and_fuse(vec![fast, slow], true, false, None, None);
+        let mut tuned = TunedSchedule::default();
+        tuned.group_parallel.insert("fast.fwd".into(), false);
+        parallelize(&mut out, Some(&tuned));
+        // Loops stay parallel-annotated either way (the annotation fixes
+        // the accumulation structure); the decision lands in the hint.
+        for g in &out {
+            match &g.stmts[0] {
+                Stmt::For(l) => assert!(l.annot.parallel),
+                other => panic!("{other:?}"),
+            }
+        }
+        let hints: Vec<bool> = out.iter().map(|g| g.meta.serial_hint).collect();
+        assert_eq!(hints, [true, false], "explicit serial entry wins, default stays parallel");
+    }
+
+    #[test]
+    fn tuned_tile_override_wins_over_opt_tile() {
+        let g = elementwise_group("relu1", 16, None);
+        let tuned = TunedSchedule { tile_size: Some(4), ..TunedSchedule::default() };
+        let (out, _) = tile_and_fuse(vec![g], true, false, Some(8), Some(&tuned));
+        match &out[0].stmts[0] {
+            Stmt::For(l) => assert_eq!(l.annot.tiled.unwrap().tile_size, 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_serial_schedule_marks_nothing() {
+        let g = elementwise_group("relu1", 16, None);
+        let (mut out, _) = tile_and_fuse(vec![g], true, false, None, None);
+        let tuned = TunedSchedule::all_serial();
+        parallelize(&mut out, Some(&tuned));
+        match &out[0].stmts[0] {
+            Stmt::For(l) => assert!(l.annot.parallel, "annotation structure is decision-invariant"),
+            other => panic!("{other:?}"),
+        }
+        assert!(out[0].meta.serial_hint);
     }
 }

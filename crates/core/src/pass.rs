@@ -33,6 +33,7 @@ use crate::compile::OptLevel;
 use crate::error::CompileError;
 use crate::opt;
 use crate::program::{CompileStats, Group, PassStat};
+use crate::tuned::TunedSchedule;
 
 /// The IR flowing through the pipeline: both phases' groups.
 #[derive(Debug, Clone)]
@@ -83,6 +84,19 @@ pub struct PassContext<'a> {
     pub buffers: &'a [BufferDecl],
     /// The optimization level the net is being compiled at.
     pub opt: &'a OptLevel,
+    /// Measured schedule overrides, when compiling under an autotuned
+    /// schedule ([`compile_tuned`](crate::compile_tuned)). `None` means
+    /// the identity schedule: every pass uses its built-in heuristics.
+    pub tuned: Option<&'a TunedSchedule>,
+}
+
+impl PassContext<'_> {
+    /// The tile size the tiling/fusion passes should request: the tuned
+    /// override when present, else the opt level's.
+    fn effective_tile(&self) -> Option<usize> {
+        self.tuned
+            .map_or(self.opt.tile_size, |t| t.effective_tile(self.opt.tile_size))
+    }
 }
 
 /// One named compiler stage.
@@ -134,7 +148,7 @@ impl Pass for FusionPass {
 
     fn run(&self, state: &mut PipelineState, ctx: &PassContext<'_>, stats: &mut CompileStats) {
         for phase in [&mut state.forward, &mut state.backward] {
-            let (groups, s) = opt::fuse_chains(std::mem::take(phase), ctx.opt.tile_size);
+            let (groups, s) = opt::fuse_chains(std::mem::take(phase), ctx.effective_tile());
             *phase = groups;
             stats.groups_tiled += s.groups_tiled;
             stats.fusions += s.fusions;
@@ -157,7 +171,7 @@ impl Pass for TilingPass {
 
     fn run(&self, state: &mut PipelineState, ctx: &PassContext<'_>, stats: &mut CompileStats) {
         for phase in [&mut state.forward, &mut state.backward] {
-            let (groups, s) = opt::tile_untiled(std::mem::take(phase), ctx.opt.tile_size);
+            let (groups, s) = opt::tile_untiled(std::mem::take(phase), ctx.effective_tile());
             *phase = groups;
             stats.groups_tiled += s.groups_tiled;
         }
@@ -177,9 +191,9 @@ impl Pass for ParallelizePass {
         opt.parallel
     }
 
-    fn run(&self, state: &mut PipelineState, _ctx: &PassContext<'_>, _stats: &mut CompileStats) {
-        opt::parallelize(&mut state.forward);
-        opt::parallelize(&mut state.backward);
+    fn run(&self, state: &mut PipelineState, ctx: &PassContext<'_>, _stats: &mut CompileStats) {
+        opt::parallelize(&mut state.forward, ctx.tuned);
+        opt::parallelize(&mut state.backward, ctx.tuned);
     }
 }
 

@@ -44,6 +44,13 @@ pub struct GroupMeta {
     /// Set by the step-share pass when this group is an α-equivalent
     /// clone of an earlier unrolled time step.
     pub share_body_with: Option<StepShare>,
+    /// Set by the parallelize pass when a tuned schedule decided this
+    /// group runs faster serially. The loops stay `parallel`-annotated —
+    /// the annotation fixes the gradient-lane accumulation structure,
+    /// which must not change with the decision — and the runtime drives
+    /// all lanes from the calling thread instead of broadcasting to the
+    /// pool.
+    pub serial_hint: bool,
 }
 
 /// Producer relation used by the fusion pass.
@@ -185,6 +192,14 @@ pub struct CompileStats {
     /// pass annotated the group's loops for the worker pool's static
     /// interleaved schedule. Makes bench output self-describing.
     pub group_parallel: Vec<(String, bool)>,
+    /// Groups whose schedule runs batch-parallel (the `true` entries of
+    /// [`CompileStats::group_parallel`]). Together with
+    /// [`CompileStats::groups_serial`] this summarizes the per-group
+    /// serial/parallel decisions a tuned schedule made.
+    pub groups_parallel: usize,
+    /// Groups left serial — no loop marked parallel, executed on the
+    /// calling thread.
+    pub groups_serial: usize,
     /// Unrolled time-step groups marked α-equivalent to an earlier step
     /// by the step-share pass (lowering reuses one compiled body for
     /// each).

@@ -728,6 +728,7 @@ fn group_meta(ctx: &EnsCtx<'_>) -> GroupMeta {
         dim0_extent: if tileable { Some(dims[0]) } else { None },
         upstream,
         share_body_with: None,
+        serial_hint: false,
     }
 }
 
@@ -1027,6 +1028,7 @@ fn synth_concat(
         dim0_extent: if rank >= 2 { Some(dims[0]) } else { None },
         upstream: None,
         share_body_with: None,
+        serial_hint: false,
     };
     out.forward.push(Group {
         name: format!("{name}.fwd"),

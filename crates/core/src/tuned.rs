@@ -1,0 +1,123 @@
+//! Tuned schedules: measured overrides for the compiler's fixed
+//! scheduling heuristics.
+//!
+//! The standard pipeline schedules every network with constants — the
+//! `PREFERRED_TILES` ladder, unconditional parallel marking, the GEMM
+//! engine's default `(kc, nc, mc)` blocking. A [`TunedSchedule`] carries
+//! the *measured* alternatives an autotuner found faster on a concrete
+//! `(shapes, thread count, CPU features)` point, and threads them through
+//! the same passes: [`compile_tuned`](crate::compile_tuned) hands the
+//! schedule to the [`PassManager`](crate::PassManager) via
+//! [`PassContext::tuned`](crate::PassContext), where the tiling/fusion
+//! passes honour [`TunedSchedule::tile_size`] and the parallelize pass
+//! consults [`TunedSchedule::decide_parallel`] per group.
+//!
+//! Every choice expressible here is **bit-preserving** by construction:
+//! tile sizes restructure loops without reassociating any reduction,
+//! per-group serial/parallel decisions ride on the fixed-lane runtime
+//! schedule (bit-identical at every thread count), and the GEMM blocking
+//! search space pins `kc` — the reduction block, the one knob that *does*
+//! change floating-point association — to the default. Tuning may change
+//! speed, never bits; the oracle differential tests hold the compiler to
+//! that.
+
+use std::collections::BTreeMap;
+
+/// A measured schedule override, produced by an autotuner (see
+/// `latte_runtime::tune`) or written by hand.
+///
+/// `Default` is the identity schedule: no tile override, no blocking
+/// override, every group parallel — compiling with it is equivalent to
+/// compiling without a schedule at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedSchedule {
+    /// Tile-size override for the tiling and fusion passes. Wins over
+    /// [`OptLevel::tile_size`](crate::OptLevel) when set; the usual
+    /// divisibility rules still apply (an override that does not divide a
+    /// group's extent falls back to the preferred ladder for that group).
+    pub tile_size: Option<usize>,
+    /// `(kc, nc, mc)` GEMM engine blocking the runtime should configure
+    /// its worker pool with. Carried here so one cache entry describes
+    /// the whole schedule; the compiler passes do not consume it.
+    pub gemm_blocking: Option<(usize, usize, usize)>,
+    /// Parallel decision for groups not named in
+    /// [`TunedSchedule::group_parallel`]. `true` (the default) preserves
+    /// the untuned pipeline's behaviour of marking every tiled,
+    /// non-barrier group parallel.
+    pub parallel_default: bool,
+    /// Per-group serial/parallel decisions, keyed by the group's
+    /// post-fusion name (e.g. `"conv1+relu1.fwd"`). Groups measured
+    /// faster serial map to `false` and are left unmarked, so the runtime
+    /// executes them on the calling thread.
+    pub group_parallel: BTreeMap<String, bool>,
+}
+
+impl Default for TunedSchedule {
+    fn default() -> Self {
+        TunedSchedule {
+            tile_size: None,
+            gemm_blocking: None,
+            parallel_default: true,
+            group_parallel: BTreeMap::new(),
+        }
+    }
+}
+
+impl TunedSchedule {
+    /// A schedule that forces every group serial — the autotuner's
+    /// all-serial measurement candidate, and the right schedule for hosts
+    /// where fan-out never pays (single-core containers).
+    pub fn all_serial() -> Self {
+        TunedSchedule {
+            parallel_default: false,
+            ..TunedSchedule::default()
+        }
+    }
+
+    /// The parallel decision for `group`: its explicit entry, or
+    /// [`TunedSchedule::parallel_default`] when unnamed.
+    pub fn decide_parallel(&self, group: &str) -> bool {
+        self.group_parallel.get(group).copied().unwrap_or(self.parallel_default)
+    }
+
+    /// The tile size the scheduling passes should request: this
+    /// schedule's override, else the opt level's.
+    pub fn effective_tile(&self, opt_tile: Option<usize>) -> Option<usize> {
+        self.tile_size.or(opt_tile)
+    }
+
+    /// Whether this schedule changes anything over the identity schedule.
+    pub fn is_identity(&self) -> bool {
+        self.tile_size.is_none()
+            && self.gemm_blocking.is_none()
+            && self.parallel_default
+            && self.group_parallel.values().all(|&p| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_identity() {
+        let s = TunedSchedule::default();
+        assert!(s.is_identity());
+        assert!(s.decide_parallel("anything.fwd"));
+        assert_eq!(s.effective_tile(Some(4)), Some(4));
+    }
+
+    #[test]
+    fn overrides_win() {
+        let mut s = TunedSchedule {
+            tile_size: Some(8),
+            ..TunedSchedule::default()
+        };
+        s.group_parallel.insert("conv1.fwd".into(), false);
+        assert!(!s.is_identity());
+        assert_eq!(s.effective_tile(Some(4)), Some(8));
+        assert!(!s.decide_parallel("conv1.fwd"));
+        assert!(s.decide_parallel("conv2.fwd"));
+        assert!(!TunedSchedule::all_serial().decide_parallel("conv2.fwd"));
+    }
+}

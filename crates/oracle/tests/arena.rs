@@ -20,7 +20,7 @@ fn executor(t: &TestNet, opt: &OptLevel, arena: bool) -> Executor {
     let mut exec = Executor::with_registry(
         compiled,
         &KernelRegistry::with_builtins(),
-        ExecConfig { threads: 1, arena },
+        ExecConfig { threads: 1, arena, gemm_blocking: None },
     )
     .expect("lower");
     for (ensemble, data) in &t.inputs {

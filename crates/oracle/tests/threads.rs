@@ -24,6 +24,7 @@ fn executor(t: &TestNet, opt: &OptLevel, threads: usize) -> Executor {
         ExecConfig {
             threads,
             arena: false,
+            gemm_blocking: None,
         },
     )
     .expect("lower");

@@ -1,0 +1,151 @@
+//! Tuned-schedule differential matrix: every sampled point of the
+//! autotuner's search space must be **bit-identical** to the default
+//! schedule, across all five oracle networks and all nine standard
+//! `OptLevel` configurations. Tuning may change speed, never bits — the
+//! search space was constructed that way (serial/parallel rides the
+//! fixed-lane runtime schedule, tile overrides never reassociate, GEMM
+//! blocking pins `kc`), and this matrix holds the compiler to it.
+
+mod common;
+
+use latte_core::{compile, compile_tuned, TunedSchedule};
+use latte_ir::BufferKind;
+use latte_oracle::standard_configs;
+use latte_runtime::registry::KernelRegistry;
+use latte_runtime::{ExecConfig, Executor};
+
+use common::{classifier_net, conv_net, fc_net, fusion_chain, lstm_net, TestNet};
+
+/// Representative points of the tuner's search space: each axis alone at
+/// its extremes, plus the fully-combined schedule.
+fn sampled_schedules() -> Vec<(&'static str, TunedSchedule)> {
+    vec![
+        ("all-serial", TunedSchedule::all_serial()),
+        ("tile4", TunedSchedule { tile_size: Some(4), ..TunedSchedule::default() }),
+        ("tile8", TunedSchedule { tile_size: Some(8), ..TunedSchedule::default() }),
+        (
+            "blocking-small",
+            TunedSchedule {
+                gemm_blocking: Some((256, 256, 32)),
+                ..TunedSchedule::default()
+            },
+        ),
+        (
+            "blocking-wide",
+            TunedSchedule {
+                gemm_blocking: Some((256, 1024, 128)),
+                ..TunedSchedule::default()
+            },
+        ),
+        (
+            "combined",
+            TunedSchedule {
+                tile_size: Some(4),
+                gemm_blocking: Some((256, 256, 32)),
+                parallel_default: false,
+                ..TunedSchedule::default()
+            },
+        ),
+    ]
+}
+
+/// Runs one compiled subject to completion and returns every comparable
+/// buffer (values, gradients, parameter gradients) by name.
+fn run_subject(
+    compiled: latte_core::CompiledNet,
+    threads: usize,
+    gemm_blocking: Option<(usize, usize, usize)>,
+    inputs: &[(String, Vec<f32>)],
+) -> Vec<(String, Vec<f32>)> {
+    let compared: Vec<String> = compiled
+        .buffers
+        .iter()
+        .filter(|d| {
+            matches!(d.kind, BufferKind::Value | BufferKind::Grad | BufferKind::ParamGrad)
+        })
+        .map(|d| d.name.clone())
+        .collect();
+    let mut exec = Executor::with_registry(
+        compiled,
+        &KernelRegistry::with_builtins(),
+        ExecConfig { threads, arena: false, gemm_blocking },
+    )
+    .expect("lower subject");
+    for (ensemble, data) in inputs {
+        exec.set_input(ensemble, data).expect("input");
+    }
+    exec.forward();
+    exec.backward();
+    compared
+        .into_iter()
+        .map(|name| {
+            let data = exec.read_buffer(&name).expect("read buffer");
+            (name, data)
+        })
+        .collect()
+}
+
+fn assert_tuned_matches_default(name: &str, t: &TestNet) {
+    let configs = standard_configs();
+    assert_eq!(configs.len(), 9, "the standard matrix must stay complete");
+    let schedules = sampled_schedules();
+    for (label, opt) in &configs {
+        let threads = if opt.parallel { 4 } else { 1 };
+        let baseline = run_subject(
+            compile(&t.net, opt).expect("default compile"),
+            threads,
+            None,
+            &t.inputs,
+        );
+        assert!(!baseline.is_empty(), "{name}/{label}: nothing compared");
+        for (sched_name, schedule) in &schedules {
+            let tuned = run_subject(
+                compile_tuned(&t.net, opt, schedule).expect("tuned compile"),
+                threads,
+                schedule.gemm_blocking,
+                &t.inputs,
+            );
+            assert_eq!(
+                baseline.len(),
+                tuned.len(),
+                "{name}/{label}/{sched_name}: buffer sets diverged"
+            );
+            for ((bname, base), (tname, tune)) in baseline.iter().zip(&tuned) {
+                assert_eq!(bname, tname, "{name}/{label}/{sched_name}: buffer order");
+                assert_eq!(base.len(), tune.len(), "{name}/{label}/{sched_name}/{bname}");
+                for (i, (x, y)) in base.iter().zip(tune).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{name}/{label}/{sched_name}: {bname}[{i}] {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tuned_fc_is_bit_identical_to_default() {
+    assert_tuned_matches_default("fc", &fc_net());
+}
+
+#[test]
+fn tuned_conv_is_bit_identical_to_default() {
+    assert_tuned_matches_default("conv", &conv_net());
+}
+
+#[test]
+fn tuned_fusion_chain_is_bit_identical_to_default() {
+    assert_tuned_matches_default("fusion-chain", &fusion_chain());
+}
+
+#[test]
+fn tuned_classifier_is_bit_identical_to_default() {
+    assert_tuned_matches_default("classifier", &classifier_net());
+}
+
+#[test]
+fn tuned_lstm_is_bit_identical_to_default() {
+    assert_tuned_matches_default("lstm", &lstm_net(2));
+}

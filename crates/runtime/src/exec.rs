@@ -62,6 +62,12 @@ pub struct ExecConfig {
     /// bit-identical either way, but reading a buffer the arena retired
     /// returns [`RuntimeError::BufferRetired`] instead of data.
     pub arena: bool,
+    /// `(kc, nc, mc)` blocking for the worker pool's GEMM engines; `None`
+    /// uses the engine default. Typically installed by the autotuner (see
+    /// `latte_runtime::tune`); blocking changes tile partitioning only —
+    /// `kc` association is what determines bits, and tuned schedules pin
+    /// it — so results stay bit-identical across valid blockings.
+    pub gemm_blocking: Option<(usize, usize, usize)>,
 }
 
 impl ExecConfig {
@@ -81,6 +87,7 @@ impl Default for ExecConfig {
         ExecConfig {
             threads: Self::env_threads(),
             arena: false,
+            gemm_blocking: None,
         }
     }
 }
@@ -328,7 +335,9 @@ impl Executor {
         cfg: ExecConfig,
     ) -> Result<Self, RuntimeError> {
         let program = CompiledProgram::lower(net, registry, cfg)?;
-        program.instantiate(Arc::new(WorkerPool::new(cfg.threads)))
+        let pool = WorkerPool::with_blocking(cfg.threads, cfg.gemm_blocking)
+            .map_err(|e| RuntimeError::InvalidConfig { detail: e.to_string() })?;
+        program.instantiate(Arc::new(pool))
     }
 
     /// The worker-thread count this executor runs with.
@@ -786,13 +795,14 @@ impl Executor {
             n_slots,
             nt: self.pool.threads(),
         };
-        self.pool.run(&|tid, ctx| {
-            let j = &job;
+        // schedule(static, 1) over lanes: the driving worker owns lanes
+        // first, first+step, …; lane `l` owns items l, l+L, … — an
+        // item→accumulator mapping independent of the worker count, so
+        // any `(first, step)` coverage of the lanes produces the same
+        // bits.
+        fn run_lanes(j: &ItemJob<'_>, ctx: &mut crate::pool::WorkerCtx, first: usize, step: usize) {
             let mut env = vec![0i64; j.n_slots.max(1)];
-            // schedule(static, 1) over lanes: worker `tid` owns lanes
-            // tid, tid+nt, …; lane `l` owns items l, l+L, … — an
-            // item→accumulator mapping independent of the worker count.
-            let mut lane = tid;
+            let mut lane = first;
             while lane < j.n_lanes {
                 let scratch = &j.lanes[lane];
                 let mut item = lane;
@@ -806,9 +816,16 @@ impl Executor {
                     }
                     item += j.n_lanes;
                 }
-                lane += j.nt;
+                lane += step;
             }
-        });
+        }
+        if g.serial_hint {
+            // Tuned serial: same lane structure, all lanes on the
+            // caller, no pool broadcast (no worker wake-ups).
+            self.pool.with_caller_ctx(|ctx| run_lanes(&job, ctx, 0, 1));
+        } else {
+            self.pool.run(&|tid, ctx| run_lanes(&job, ctx, tid, job.nt));
+        }
 
         // Synchronized reduction, folding lanes in lane order — the same
         // association for every thread count.

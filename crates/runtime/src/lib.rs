@@ -76,8 +76,10 @@ pub mod store;
 pub mod supervisor;
 pub mod trace;
 pub mod transport;
+pub mod tune;
 
 pub use error::RuntimeError;
 pub use exec::{CompiledProgram, ExecConfig, Executor, GradBucket};
 pub use plan::ExecutionPlan;
 pub use trace::{TraceCache, TraceCacheStats};
+pub use tune::{TuneError, Tuner, TunerStats};

@@ -405,6 +405,9 @@ pub(crate) enum Segment {
 pub(crate) struct CGroup {
     pub name: String,
     pub parallel: bool,
+    /// Tuned-serial decision: keep the parallel lane structure (bits are
+    /// decision-invariant) but drive every lane from the calling thread.
+    pub serial_hint: bool,
     pub bufs: Vec<BufBinding>,
     /// Buffer name behind each `bufs` entry, kept so a step-shared clone
     /// can rebind the table under the `@t{j}` → `@t{j+delta}` rename.
@@ -564,6 +567,7 @@ fn reuse_group(rep: &CGroup, group: &Group, delta: i64, store: &BufferStore) -> 
     Some(CGroup {
         name: group.name.clone(),
         parallel: rep.parallel,
+        serial_hint: group.meta.serial_hint,
         bufs,
         buf_names,
         segments,
@@ -637,6 +641,7 @@ fn lower_group(
     Ok(CGroup {
         name: group.name.clone(),
         parallel,
+        serial_hint: group.meta.serial_hint,
         bufs: lw.bufs,
         buf_names: lw.buf_names,
         segments,

@@ -39,6 +39,7 @@ fn executor_never_spawns_threads_after_construction() {
         ExecConfig {
             threads: 4,
             arena: false,
+            gemm_blocking: None,
         },
     )
     .expect("lower");
@@ -80,6 +81,7 @@ fn executor_never_spawns_threads_after_construction() {
         ExecConfig {
             threads: 1,
             arena: false,
+            gemm_blocking: None,
         },
     )
     .expect("lower");

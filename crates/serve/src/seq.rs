@@ -381,6 +381,7 @@ impl SeqServer {
         let cache = Arc::new(PlanCache::new(ExecConfig {
             threads: cfg.threads,
             arena: false,
+            gemm_blocking: None,
         }));
         Self::start_with(Arc::new(model), cfg, cache, Arc::new(NoHooks))
     }

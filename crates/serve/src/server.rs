@@ -403,6 +403,7 @@ impl Server {
         let cache = Arc::new(PlanCache::new(ExecConfig {
             threads: cfg.threads,
             arena: false,
+            gemm_blocking: None,
         }));
         Self::start_with(Arc::new(model), cfg, cache, Arc::new(NoHooks))
     }

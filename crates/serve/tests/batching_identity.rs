@@ -116,7 +116,7 @@ proptest! {
     fn any_micro_batch_is_bit_identical_to_solo_execution(seed in 0u64..1_000_000) {
         for net_name in common::NETS {
             let mut reference = Reference::new(net_name);
-            let cache = Arc::new(PlanCache::new(ExecConfig { threads: 1, arena: false }));
+            let cache = Arc::new(PlanCache::new(ExecConfig { threads: 1, arena: false, gemm_blocking: None }));
 
             // Miss path: a fresh cache, so each size lowers its plan.
             let server = Server::start_with(

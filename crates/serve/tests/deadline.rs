@@ -113,6 +113,7 @@ fn an_abandoned_ticket_is_detected_and_its_reply_dropped() {
     let cache = Arc::new(PlanCache::new(latte_runtime::ExecConfig {
         threads: 1,
         arena: false,
+        gemm_blocking: None,
     }));
     let server = Server::start_with(
         Arc::new(common::model("fc")),
@@ -144,6 +145,7 @@ fn a_timed_out_wait_is_an_abandoned_receiver_too() {
     let cache = Arc::new(PlanCache::new(latte_runtime::ExecConfig {
         threads: 1,
         arena: false,
+        gemm_blocking: None,
     }));
     let server = Server::start_with(
         Arc::new(common::model("fc")),
@@ -170,6 +172,7 @@ fn draining_refuses_new_admissions_but_answers_admitted_work() {
     let cache = Arc::new(PlanCache::new(latte_runtime::ExecConfig {
         threads: 1,
         arena: false,
+        gemm_blocking: None,
     }));
     let server = Arc::new(Server::start_with(
         Arc::new(common::model("fc")),

@@ -103,6 +103,7 @@ fn slow_client_backpressure_bounds_the_queue() {
         Arc::new(PlanCache::new(ExecConfig {
             threads: 1,
             arena: false,
+            gemm_blocking: None,
         })),
         Arc::clone(&gate) as Arc<dyn latte_serve::ReplicaHooks>,
     );

@@ -46,6 +46,7 @@ fn tail_batches_never_recompile_after_warmup() {
     let cache = Arc::new(PlanCache::new(ExecConfig {
         threads: 1,
         arena: false,
+        gemm_blocking: None,
     }));
     let server = Server::start_with(
         Arc::new(common::model("classifier")),
@@ -119,6 +120,7 @@ fn non_batch_invariant_factories_are_rejected() {
     let cache = PlanCache::new(ExecConfig {
         threads: 1,
         arena: false,
+        gemm_blocking: None,
     });
     // Batch 1 matches the probe; any other batch changes the seed and
     // must be caught.

@@ -36,6 +36,7 @@ fn start(replicas: usize, hooks: Arc<dyn ReplicaHooks>) -> Server {
         Arc::new(PlanCache::new(ExecConfig {
             threads: 1,
             arena: false,
+            gemm_blocking: None,
         })),
         hooks,
     )

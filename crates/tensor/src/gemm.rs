@@ -40,6 +40,61 @@ const MIN_PARALLEL_FLOPS: usize = 2 * 64 * 64 * 64;
 /// instead of the tiled kernel.
 const NARROW: usize = 32;
 
+/// A rejected `(kc, nc, mc)` blocking: why [`Gemm::with_blocking`]
+/// refused to build an engine.
+///
+/// The autotuner enumerates blockings from a pre-validated space, but the
+/// constructor is public API — a hand-written blocking that is zero or
+/// breaks the micro-panel alignment would silently waste most of each
+/// packed panel on zero padding (`mc % MR`, `nc % NR`), so it is rejected
+/// with a structured error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingError {
+    /// A block size was zero.
+    ZeroBlock {
+        /// Which block (`"kc"`, `"nc"`, or `"mc"`).
+        dim: &'static str,
+    },
+    /// `mc` is not a multiple of the [`MR`]-row A micro-panel.
+    UnalignedRows {
+        /// The rejected row-block size.
+        mc: usize,
+    },
+    /// `nc` is not a multiple of the [`NR`]-column B micro-panel.
+    UnalignedCols {
+        /// The rejected column-block size.
+        nc: usize,
+    },
+}
+
+impl std::fmt::Display for BlockingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockingError::ZeroBlock { dim } => write!(f, "block size {dim} must be non-zero"),
+            BlockingError::UnalignedRows { mc } => {
+                write!(f, "mc = {mc} is not a multiple of the MR = {MR} micro-panel rows")
+            }
+            BlockingError::UnalignedCols { nc } => {
+                write!(f, "nc = {nc} is not a multiple of the NR = {NR} micro-panel columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockingError {}
+
+/// A short, stable description of the instruction-set features the GEMM
+/// micro-kernel dispatches on for this host — part of the autotuner's
+/// cache key, so schedules tuned on one micro-architecture class are
+/// never replayed on another.
+pub fn cpu_features() -> &'static str {
+    if detect_fma() {
+        "avx2+fma"
+    } else {
+        "generic"
+    }
+}
+
 /// Whether an operand of [`Gemm::compute`] is transposed.
 ///
 /// `A` is logically `m x k` after the op is applied; `B` is logically
@@ -173,29 +228,42 @@ unsafe impl Sync for CPtr {}
 impl Gemm {
     /// Creates an engine with block sizes tuned for typical L1/L2 caches.
     pub fn new() -> Self {
-        Gemm::with_blocking(256, 512, 64)
+        Gemm::with_blocking(256, 512, 64).expect("default blocking is valid")
     }
 
     /// Creates an engine with explicit `(kc, nc, mc)` block sizes.
     ///
     /// `kc` is the reduction-dimension block, `nc` the column block held in
-    /// cache, `mc` the row block. Blocks need not be multiples of
-    /// [`MR`]/[`NR`] — panels are zero-padded. Exposed so the block-size
-    /// ablation bench can sweep the design space.
+    /// cache, `mc` the row block. `mc` must be a multiple of [`MR`] and
+    /// `nc` a multiple of [`NR`] — the packed panels are micro-panel
+    /// grids, and an unaligned block would spend the tail panel of every
+    /// macro-tile on zero padding. Exposed so the block-size ablation
+    /// bench and the schedule autotuner can sweep the design space.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any block size is zero.
-    pub fn with_blocking(kc: usize, nc: usize, mc: usize) -> Self {
-        assert!(kc > 0 && nc > 0 && mc > 0, "block sizes must be non-zero");
-        Gemm {
+    /// Returns a [`BlockingError`] for zero block sizes or `mc`/`nc`
+    /// violating the `MR`/`NR` panel alignment.
+    pub fn with_blocking(kc: usize, nc: usize, mc: usize) -> Result<Self, BlockingError> {
+        for (dim, v) in [("kc", kc), ("nc", nc), ("mc", mc)] {
+            if v == 0 {
+                return Err(BlockingError::ZeroBlock { dim });
+            }
+        }
+        if !mc.is_multiple_of(MR) {
+            return Err(BlockingError::UnalignedRows { mc });
+        }
+        if !nc.is_multiple_of(NR) {
+            return Err(BlockingError::UnalignedCols { nc });
+        }
+        Ok(Gemm {
             kc,
             nc,
             mc,
             fma: detect_fma(),
             pack_a: Vec::new(),
             pack_b: Vec::new(),
-        }
+        })
     }
 
     /// The `(kc, nc, mc)` block sizes.
@@ -688,10 +756,39 @@ mod tests {
         let mut c_ref = dense(m, n, 3);
         let mut c_blk = c_ref.clone();
         gemm_naive(ta, tb, m, n, k, &a, &b, &mut c_ref);
-        Gemm::with_blocking(7, 11, 5).compute(ta, tb, m, n, k, &a, &b, &mut c_blk);
+        // Odd kc and minimal aligned nc/mc: edge blocks everywhere.
+        let mut engine = Gemm::with_blocking(7, 16, 4).expect("aligned blocking");
+        engine.compute(ta, tb, m, n, k, &a, &b, &mut c_blk);
         for (r, o) in c_ref.iter().zip(&c_blk) {
             assert!((r - o).abs() <= 1e-3 * r.abs().max(1.0), "{r} vs {o}");
         }
+    }
+
+    #[test]
+    fn with_blocking_rejects_zero_and_unaligned_blocks() {
+        assert_eq!(
+            Gemm::with_blocking(0, 512, 64).unwrap_err(),
+            BlockingError::ZeroBlock { dim: "kc" }
+        );
+        assert_eq!(
+            Gemm::with_blocking(256, 0, 64).unwrap_err(),
+            BlockingError::ZeroBlock { dim: "nc" }
+        );
+        assert_eq!(
+            Gemm::with_blocking(256, 512, 0).unwrap_err(),
+            BlockingError::ZeroBlock { dim: "mc" }
+        );
+        // mc must be a multiple of MR (4), nc a multiple of NR (16).
+        assert_eq!(
+            Gemm::with_blocking(256, 512, 63).unwrap_err(),
+            BlockingError::UnalignedRows { mc: 63 }
+        );
+        assert_eq!(
+            Gemm::with_blocking(256, 500, 64).unwrap_err(),
+            BlockingError::UnalignedCols { nc: 500 }
+        );
+        // kc has no panel constraint: any non-zero value is accepted.
+        assert_eq!(Gemm::with_blocking(7, 512, 64).unwrap().blocking(), (7, 512, 64));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::cell::RefCell;
 
-use latte_tensor::gemm::{gemm_naive, Gemm, GemmPool, Transpose};
+use latte_tensor::gemm::{gemm_naive, Gemm, GemmPool, Transpose, MR, NR};
 use proptest::prelude::*;
 
 /// A sequential stand-in pool: `threads` worker slots, each with its own
@@ -28,7 +28,9 @@ impl FakePool {
     fn with_blocking(threads: usize, kc: usize, nc: usize, mc: usize) -> Self {
         FakePool {
             engines: RefCell::new(
-                (0..threads).map(|_| Gemm::with_blocking(kc, nc, mc)).collect(),
+                (0..threads)
+                    .map(|_| Gemm::with_blocking(kc, nc, mc).expect("aligned blocking"))
+                    .collect(),
             ),
         }
     }
@@ -77,11 +79,12 @@ proptest! {
         ta in transpose(),
         tb in transpose(),
         kc in 1usize..8,
-        nc in 1usize..8,
-        mc in 1usize..8,
+        nc_mul in 1usize..4,
+        mc_mul in 1usize..4,
         threads in 1usize..5,
         seed in 0u32..1000,
     ) {
+        let (nc, mc) = (nc_mul * NR, mc_mul * MR);
         let a = fill(m * k, seed, 1);
         let b = fill(k * n, seed, 2);
         let mut c_ref = fill(m * n, seed, 3);

@@ -3,7 +3,7 @@
 use latte_tensor::conv::{
     col2im, conv2d_reference, im2col, maxpool2d, Conv2dParams,
 };
-use latte_tensor::gemm::{gemm_naive, Gemm, Transpose};
+use latte_tensor::gemm::{gemm_naive, Gemm, Transpose, MR, NR};
 use latte_tensor::Shape;
 use proptest::prelude::*;
 
@@ -24,10 +24,11 @@ proptest! {
         ta in transpose(),
         tb in transpose(),
         kc in 1usize..8,
-        nc in 1usize..8,
-        mc in 1usize..8,
+        nc_mul in 1usize..4,
+        mc_mul in 1usize..4,
         seed in 0u32..1000,
     ) {
+        let (nc, mc) = (nc_mul * NR, mc_mul * MR);
         let fill = |len: usize, salt: u32| -> Vec<f32> {
             (0..len)
                 .map(|i| {
@@ -44,7 +45,9 @@ proptest! {
         let mut c_ref = fill(m * n, 3);
         let mut c_blk = c_ref.clone();
         gemm_naive(ta, tb, m, n, k, &a, &b, &mut c_ref);
-        Gemm::with_blocking(kc, nc, mc).compute(ta, tb, m, n, k, &a, &b, &mut c_blk);
+        Gemm::with_blocking(kc, nc, mc)
+            .expect("aligned blocking")
+            .compute(ta, tb, m, n, k, &a, &b, &mut c_blk);
         for (r, o) in c_ref.iter().zip(&c_blk) {
             prop_assert!((r - o).abs() <= 1e-2 * r.abs().max(1.0), "{} vs {}", r, o);
         }

@@ -5,13 +5,20 @@
 //!
 //! ```text
 //! cargo run --release --example convnet
+//! LATTE_TUNE=1 cargo run --release --example convnet   # autotuned schedule
 //! ```
+//!
+//! With `LATTE_TUNE=1` the schedule comes from the autotuner (DESIGN.md
+//! §16): the first run measures candidates and persists the winner in
+//! `latte_tune.cache` (`LATTE_TUNE_CACHE` overrides the path); later
+//! runs replay it with zero re-measurements. Results are bit-identical
+//! either way.
 
 use latte::core::{compile, OptLevel};
 use latte::nn::models::{lenet, ModelConfig};
 use latte::runtime::data::{synthetic_mnist, DoubleBufferedSource, MemoryDataSource};
 use latte::runtime::solver::{solve, LrPolicy, MomPolicy, Sgd, SolverParams};
-use latte::runtime::Executor;
+use latte::runtime::{Executor, Tuner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ModelConfig {
@@ -23,7 +30,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 11,
     };
     let model = lenet(&cfg);
-    let compiled = compile(&model.net, &OptLevel::full())?;
+    // LATTE_TUNE=1 routes compilation through the autotuner; otherwise
+    // the default schedule is used. Both paths are bit-identical.
+    let (compiled, tuner) = match Tuner::from_env() {
+        Some(tuner) => {
+            let mut tuner = tuner?;
+            let (schedule, compiled) = tuner.tune_net(&model.net, &OptLevel::full())?;
+            println!(
+                "autotuned schedule: tile={:?}, blocking={:?} ({} cache hit(s), {} measurement(s))",
+                schedule.tile_size,
+                schedule.gemm_blocking,
+                tuner.stats().cache_hits,
+                tuner.stats().measurements,
+            );
+            (compiled, Some((tuner, schedule)))
+        }
+        None => (compile(&model.net, &OptLevel::full())?, None),
+    };
     println!(
         "LeNet compiled: {} fwd groups ({} fusions, {} GEMMs)",
         compiled.forward.len(),
@@ -34,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  group {}", g.name);
     }
 
-    let mut exec = Executor::new(compiled)?;
+    let mut exec = match &tuner {
+        Some((tuner, schedule)) => tuner.executor_for(compiled, schedule)?,
+        None => Executor::new(compiled)?,
+    };
     let train = synthetic_mnist(512, 3);
     let mut source = DoubleBufferedSource::new(MemoryDataSource::try_new(
         "data",

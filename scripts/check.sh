@@ -36,9 +36,14 @@ cargo test --release --test distributed -q
 echo "==> serving over loopback TCP (framed protocol, adversaries, SIGTERM drain; incl. chaos soak)"
 LATTE_FAULT_SWEEP=1 cargo test --release -p latte-serve --test net_loopback -q
 
-echo "==> throughput bench smoke + artifact schema validation"
+echo "==> autotuner smoke (cold tune -> warm replay with zero re-measurements, corrupt-cache rejection)"
+cargo test --release -p latte-runtime --test tune_smoke -q
+cargo test --release -p latte-oracle --test tuned -q
+
+echo "==> throughput bench smoke + artifact schema validation (incl. checked-in artifact)"
 cargo run --release --quiet -p latte-bench --bin throughput -- --smoke --out target/BENCH_smoke.json
 cargo run --release --quiet -p latte-bench --bin throughput -- --validate target/BENCH_smoke.json
+cargo run --release --quiet -p latte-bench --bin throughput -- --validate BENCH_throughput.json
 
 echo "==> cluster bench smoke + artifact schema validation"
 cargo run --release --quiet -p latte-bench --bin cluster -- --smoke --out target/BENCH_cluster_smoke.json
